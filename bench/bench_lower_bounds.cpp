@@ -1,0 +1,86 @@
+// E7 — the lower-bound constructions of Section 4.1 (Lemmas 4.1-4.5),
+// Table 1's lower-bound column, as executable games.
+//
+// Each lemma's adversary is run and its game value printed next to the
+// paper's stated bound. Shape checks: never-query diverges as eps -> 0;
+// the deterministic games are worth exactly phi / 2 / 2^(a-1); the
+// randomized games 4/3 and (1+phi^a)/2; the nested family forces >= 3 on
+// equal-window algorithms.
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "analysis/ratio_harness.hpp"
+#include "bench/support.hpp"
+#include "common/constants.hpp"
+#include "qbss/adversary.hpp"
+#include "qbss/avrq.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  using namespace qbss::core;
+  banner("E7", "Section 4.1 lower bounds as executable adversary games");
+
+  const double alphas[] = {1.5, 2.0, 2.5, 3.0};
+
+  std::printf("Lemma 4.1 — never querying is unboundedly bad (alpha = 3):\n");
+  std::printf("%-10s %14s %16s\n", "eps", "speed ratio", "energy ratio");
+  rule(42);
+  for (const double eps : {0.1, 0.01, 0.001, 0.0001}) {
+    const RatioPair r = lemma41_never_query_ratio(eps, 3.0);
+    std::printf("%-10.4f %14.1f %16.4g\n", eps, r.speed, r.energy);
+  }
+
+  std::printf(
+      "\nLemma 4.2 — oracle-model game (c = w/phi), value vs stated "
+      "bound:\n");
+  std::printf("%-8s %12s %10s %14s %14s\n", "alpha", "speed", "phi",
+              "energy", "phi^a");
+  rule(62);
+  for (const double a : alphas) {
+    const RatioPair v = lemma42_game_value(a);
+    std::printf("%-8.2f %12.4f %10.4f %14.4f %14.4f\n", a, v.speed, kPhi,
+                v.energy, analysis::oracle_energy_lower(a));
+  }
+
+  std::printf(
+      "\nLemma 4.3 — deterministic game (c=1, w=2), min over (query?, x):\n");
+  std::printf("%-8s %12s %8s %14s %14s\n", "alpha", "speed", ">= 2",
+              "energy", ">= 2^(a-1)");
+  rule(60);
+  for (const double a : alphas) {
+    const RatioPair v = lemma43_game_value(a);
+    std::printf("%-8.2f %12.4f %8s %14.4f %14.4f\n", a, v.speed,
+                v.speed >= 2.0 - 1e-6 ? "ok" : "LOW", v.energy,
+                std::pow(2.0, a - 1.0));
+  }
+
+  std::printf("\nLemma 4.4 — randomized oracle-model games:\n");
+  std::printf("  speed game value: %.6f (stated 4/3 = %.6f)\n",
+              lemma44_speed_game_value(), 4.0 / 3.0);
+  std::printf("%-8s %16s %18s\n", "alpha", "energy game", "(1+phi^a)/2");
+  rule(44);
+  for (const double a : alphas) {
+    std::printf("%-8.2f %16.6f %18.6f\n", a, lemma44_energy_game_value(a),
+                analysis::randomized_energy_lower(a));
+  }
+
+  std::printf(
+      "\nLemma 4.5 — nested family vs the equal-window algorithm (AVRQ):\n");
+  std::printf("%-8s %14s %16s %16s\n", "levels", "speed ratio",
+              "energy ratio a=2", "energy ratio a=3");
+  rule(58);
+  for (const int levels : {1, 2, 3, 4, 6, 8}) {
+    const QInstance inst = lemma45_nested_instance(levels, 1e-9);
+    const analysis::Measurement m2 = analysis::measure(inst, avrq, 2.0);
+    const analysis::Measurement m3 = analysis::measure(inst, avrq, 3.0);
+    std::printf("%-8d %14.4f %16.4f %16.4f\n", levels, m2.speed_ratio,
+                m2.energy_ratio, m3.energy_ratio);
+  }
+  std::printf(
+      "  stated bounds: speed >= 3 (reached at level 1), energy >= 3^(a-1)\n"
+      "  (3^1 = 3 at a=2, 3^2 = 9 at a=3; the energy game needs the full\n"
+      "  omitted construction — the family demonstrates the speed bound\n"
+      "  and growing energy ratios).\n");
+  return 0;
+}

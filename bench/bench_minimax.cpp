@@ -1,0 +1,43 @@
+// E16 — the single-job game value curve (Section 4.1 generalized).
+//
+// Lemmas 4.2/4.3 evaluate the single-job minimax game at two points
+// (gamma = 1/phi in the oracle model, gamma = 1/2 in the full model).
+// This bench draws the full curves v(gamma) for both objectives and both
+// information models, exposing the structure behind the lemmas:
+//  * oracle speed value  = min(1/gamma, 1 + gamma), peak phi at 1/phi;
+//  * full   speed value  = min(2, 1/gamma) — a plateau at Lemma 4.3's 2;
+//  * full   energy value peaks at gamma = 1/phi (phi^alpha... at alpha=2
+//    exactly phi^2), interpolating Lemma 4.2 and 4.3.
+#include <cstdio>
+
+#include "analysis/minimax.hpp"
+#include "bench/support.hpp"
+#include "common/constants.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  using namespace qbss::analysis;
+  banner("E16", "Single-job minimax game values across query fractions");
+
+  for (const double alpha : {2.0, 3.0}) {
+    std::printf("\nalpha = %.1f\n", alpha);
+    std::printf("%-8s | %10s %10s | %10s %12s\n", "gamma", "oracle:spd",
+                "full:spd", "oracle:en", "full:energy");
+    rule(58);
+    for (const double gamma :
+         {0.1, 0.2, 0.3, 0.4, 0.5, 1.0 / kPhi, 0.7, 0.8, 0.9, 1.0}) {
+      const GameValue oracle = single_job_oracle_game_value(gamma, alpha);
+      const GameValue full = single_job_game_value(gamma, alpha, 256, 256);
+      std::printf("%-8.3f | %10.4f %10.4f | %10.4f %12.4f%s\n", gamma,
+                  oracle.speed, full.speed, oracle.energy, full.energy,
+                  std::fabs(gamma - 1.0 / kPhi) < 1e-9 ? "  <- 1/phi" : "");
+    }
+  }
+
+  std::printf("\nAnchors: oracle peak = phi = %.4f at gamma = 1/phi "
+              "(Lemma 4.2); full speed plateau = 2 for gamma <= 1/2 "
+              "(Lemma 4.3); full energy peak at 1/phi.\n",
+              kPhi);
+  return 0;
+}

@@ -1,0 +1,157 @@
+// E12 — substrate throughput (google-benchmark).
+//
+// Microbenchmarks of every algorithm in the library as a function of the
+// number of jobs, so downstream users can size workloads: YDS is the
+// O(n^3)-ish offline solver, AVR/AVRQ are near-linear in event count,
+// BKP/BKPQ pay O(n^3) for the profile max, AVR(m) scales with m.
+#include <benchmark/benchmark.h>
+
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/avrq_m.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/crad.hpp"
+#include "qbss/crcd.hpp"
+#include "qbss/oaq.hpp"
+#include "scheduling/avr.hpp"
+#include "scheduling/bkp.hpp"
+#include "scheduling/multi/avr_m.hpp"
+#include "scheduling/oa.hpp"
+#include "scheduling/yds.hpp"
+#include "scheduling/yds_common.hpp"
+
+namespace {
+
+using namespace qbss;
+
+scheduling::Instance classical_instance(int n) {
+  const core::QInstance q = gen::random_online(n, 10.0, 0.5, 4.0, 1234);
+  return core::clairvoyant_instance(q);
+}
+
+void BM_Yds(benchmark::State& state) {
+  const auto inst = classical_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduling::yds(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Yds)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_YdsCommonRelease(benchmark::State& state) {
+  // The O(n log n) specialization vs BM_Yds's general O(n^3)-ish solver.
+  const auto q = gen::random_common_deadline(
+      static_cast<int>(state.range(0)), 8.0, 1234);
+  const auto inst = core::clairvoyant_instance(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduling::yds_common_release(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_YdsCommonRelease)
+    ->RangeMultiplier(4)
+    ->Range(8, 2048)
+    ->Complexity();
+
+void BM_Avr(benchmark::State& state) {
+  const auto inst = classical_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduling::avr(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Avr)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+void BM_Oa(benchmark::State& state) {
+  const auto inst = classical_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduling::optimal_available(inst));
+  }
+}
+BENCHMARK(BM_Oa)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_Bkp(benchmark::State& state) {
+  const auto inst = classical_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduling::bkp(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Bkp)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_AvrM(benchmark::State& state) {
+  const auto inst = classical_instance(64);
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduling::avr_m(inst, m));
+  }
+}
+BENCHMARK(BM_AvrM)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_Crcd(benchmark::State& state) {
+  const auto inst = gen::random_common_deadline(
+      static_cast<int>(state.range(0)), 8.0, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::crcd(inst));
+  }
+}
+BENCHMARK(BM_Crcd)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_Crad(benchmark::State& state) {
+  const auto inst = gen::random_arbitrary_deadlines(
+      static_cast<int>(state.range(0)), 12.0, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::crad(inst));
+  }
+}
+BENCHMARK(BM_Crad)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_Avrq(benchmark::State& state) {
+  const auto inst = gen::random_online(static_cast<int>(state.range(0)),
+                                       10.0, 0.5, 4.0, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::avrq(inst));
+  }
+}
+BENCHMARK(BM_Avrq)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_Bkpq(benchmark::State& state) {
+  const auto inst = gen::random_online(static_cast<int>(state.range(0)),
+                                       10.0, 0.5, 4.0, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::bkpq(inst));
+  }
+}
+BENCHMARK(BM_Bkpq)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_Oaq(benchmark::State& state) {
+  const auto inst = gen::random_online(static_cast<int>(state.range(0)),
+                                       10.0, 0.5, 4.0, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::oaq(inst));
+  }
+}
+BENCHMARK(BM_Oaq)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_AvrqM(benchmark::State& state) {
+  const auto inst = gen::random_online(64, 10.0, 0.5, 4.0, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::avrq_m(inst, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_AvrqM)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_Clairvoyant(benchmark::State& state) {
+  const auto inst = gen::random_online(static_cast<int>(state.range(0)),
+                                       10.0, 0.5, 4.0, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::clairvoyant_schedule(inst));
+  }
+}
+BENCHMARK(BM_Clairvoyant)->RangeMultiplier(2)->Range(8, 128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// E8 — the Section 4.2 numeric table comparing the three CRCD energy
+// ratios rho1, rho2, rho3, regenerated digit-for-digit, plus the
+// crossover points the paper reports (alpha ~ 1.44 and alpha = 2).
+#include <cstdio>
+
+#include "analysis/rho.hpp"
+#include "bench/support.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  using namespace qbss::analysis;
+  banner("E8", "Section 4.2 rho table (CRCD energy-ratio comparison)");
+
+  // Paper's values, quoted for side-by-side comparison.
+  const double paper_rho1[] = {2.17, 2.91, 3.90, 5.23, 7.02, 9.41, 12.63, 16.94};
+  const double paper_rho2[] = {2.37, 2.82, 3.36, 4.00, 4.75, 5.65, 6.72, 8.00};
+  const double paper_rho3[] = {0, 0, 0, 2.76, 3.70, 5.25, 6.72, 8.00};
+
+  std::printf("%-8s %10s %8s | %10s %8s | %10s %8s %10s\n", "alpha", "rho1",
+              "paper", "rho2", "paper", "rho3", "paper", "argmax r");
+  rule(84);
+  const auto rows = rho_table();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RhoRow& row = rows[i];
+    if (row.alpha >= 2.0) {
+      std::printf("%-8.2f %10.4f %8.2f | %10.4f %8.2f | %10.4f %8.2f %10.4f\n",
+                  row.alpha, row.rho1, paper_rho1[i], row.rho2, paper_rho2[i],
+                  row.rho3, paper_rho3[i], rho3_argmax(row.alpha));
+    } else {
+      std::printf("%-8.2f %10.4f %8.2f | %10.4f %8.2f | %10s %8s %10s\n",
+                  row.alpha, row.rho1, paper_rho1[i], row.rho2, paper_rho2[i],
+                  "-", "-", "-");
+    }
+  }
+
+  std::printf("\nCrossovers (paper: rho1 best for a <= 1.44, rho2 for "
+              "1.44 < a < 2, rho3 for a >= 2):\n");
+  // Bisect rho1 = rho2.
+  double lo = 1.01;
+  double hi = 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (rho1(mid) < rho2(mid) ? lo : hi) = mid;
+  }
+  std::printf("  rho1 = rho2 at alpha = %.4f\n", lo);
+  std::printf("  rho3(2.0) = %.4f < rho2(2.0) = %.4f -> rho3 takes over at "
+              "alpha = 2\n",
+              rho3(2.0), rho2(2.0));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E4 — Table 1, AVRQ row (Lemma 5.1 + Corollary 5.3).
+//
+// Measured energy ratios of AVRQ on online families against the proven
+// upper bound 2^(2a-1) a^a, with the geometric staggered-release family
+// probing toward the (2a)^a lower bound. Also verifies Theorem 5.2's
+// pointwise factor empirically (max over t of s_AVRQ / s_AVR*).
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "bench/support.hpp"
+#include "gen/nested.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "scheduling/avr.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  banner("E4", "Table 1 AVRQ row: online, always query (Lem 5.1, Cor 5.3)");
+
+  const std::vector<Family> families = {
+      {"online-mixed", [](std::uint64_t s) {
+         return gen::random_online(12, 8.0, 0.5, 4.0, s);
+       }, 25},
+      {"online-bursty", [](std::uint64_t s) {
+         return gen::random_online(20, 4.0, 0.3, 1.0, s);
+       }, 25},
+      {"geometric-adversarial", [](std::uint64_t s) {
+         return gen::geometric_release_family(
+             10 + static_cast<int>(s % 15), 0.5, 1e-6);
+       }, 15},
+  };
+
+  std::printf("%-8s %-22s %14s %14s %14s %14s %8s\n", "alpha", "family",
+              "E-ratio max", "E-ratio avg", "UB 2^2a-1 a^a", "LB (2a)^a",
+              "check");
+  rule(104);
+  for (const double alpha : {1.5, 2.0, 2.5, 3.0}) {
+    for (const Family& family : families) {
+      const analysis::Aggregate agg = sweep(family, core::avrq, alpha);
+      const double ub = analysis::avrq_energy_upper(alpha);
+      std::printf("%-8.2f %-22s %14.4f %14.4f %14.2f %14.2f %8s\n", alpha,
+                  family.name.c_str(), agg.max_energy_ratio,
+                  agg.mean_energy_ratio(), ub,
+                  analysis::avrq_energy_lower(alpha),
+                  verdict(agg.max_energy_ratio, ub));
+      if (agg.infeasible > 0) return 1;
+    }
+  }
+
+  std::printf(
+      "\nTheorem 5.2 pointwise factor s_AVRQ(t)/s_AVR*(t) (proved <= 2):\n");
+  double worst = 0.0;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const core::QInstance inst = gen::random_online(12, 8.0, 0.5, 4.0, seed);
+    const StepFunction mine = core::avrq(inst).schedule.speed();
+    const StepFunction star =
+        scheduling::avr_profile(core::clairvoyant_instance(inst));
+    for (const Segment& p : mine.pieces()) {
+      const Time probe = 0.5 * (p.span.begin + p.span.end);
+      const double denom = star.value(probe);
+      if (denom > 0.0) worst = std::max(worst, p.value / denom);
+    }
+  }
+  std::printf("  measured max factor: %.4f  (bound 2.0: %s)\n", worst,
+              verdict(worst, 2.0));
+  return 0;
+}

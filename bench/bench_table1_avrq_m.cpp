@@ -1,0 +1,102 @@
+// E6 — Table 1, AVRQ(m) row (Corollary 6.4).
+//
+// Measured energy ratios of AVRQ(m) on m in {2,4,8,16} machines against
+// 2^a (2^(a-1) a^a + 1). OPT(m) is replaced by the provable relaxation
+// lower bound m^(1-a) E_YDS (DESIGN.md §2): the printed ratio therefore
+// upper-bounds the true competitive ratio, keeping the check sound.
+// Also verifies Theorem 6.3's per-machine pointwise factor (<= 2).
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "analysis/multi_fluid_opt.hpp"
+#include "bench/support.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/avrq_m.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "scheduling/multi/avr_m.hpp"
+#include "scheduling/multi/opt_bound.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  banner("E6", "Table 1 AVRQ(m) row: parallel machines (Cor 6.4)");
+
+  auto make = [](std::uint64_t s) {
+    return gen::random_online(16, 8.0, 0.5, 4.0, s);
+  };
+
+  std::printf("%-8s %-4s %14s %14s %18s %8s\n", "alpha", "m", "E-ratio max",
+              "E-ratio avg", "UB 2^a(2^a-1 a^a+1)", "check");
+  rule(72);
+  for (const double alpha : {2.0, 2.5, 3.0}) {
+    for (const int m : {2, 4, 8, 16}) {
+      double worst = 0.0;
+      double sum = 0.0;
+      const int seeds = 15;
+      for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+        const core::QInstance inst = make(seed);
+        const core::QbssMultiRun run = core::avrq_m(inst, m);
+        if (!core::validate_multi_run(inst, run).feasible) {
+          std::printf("  !! infeasible run (seed %llu)\n",
+                      static_cast<unsigned long long>(seed));
+          return 1;
+        }
+        const Energy lb = scheduling::multi_opt_energy_lower_bound(
+            core::clairvoyant_instance(inst), m, alpha);
+        const double ratio = run.energy(alpha) / lb;
+        worst = std::max(worst, ratio);
+        sum += ratio;
+      }
+      const double ub = analysis::avrq_m_energy_upper(alpha);
+      std::printf("%-8.2f %-4d %14.4f %14.4f %18.2f %8s\n", alpha, m, worst,
+                  sum / seeds, ub, verdict(worst, ub));
+    }
+  }
+
+  std::printf(
+      "\nAgainst the *exact* numeric OPT(m) (small instances, n = 8):\n");
+  std::printf("%-8s %-4s %14s %18s %8s\n", "alpha", "m", "E-ratio max",
+              "UB 2^a(2^a-1 a^a+1)", "check");
+  rule(58);
+  for (const double alpha : {2.0, 3.0}) {
+    for (const int m : {2, 4}) {
+      double worst = 0.0;
+      for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const core::QInstance inst = gen::random_online(8, 6.0, 0.5, 3.0, seed);
+        const core::QbssMultiRun run = core::avrq_m(inst, m);
+        const Energy opt = analysis::multi_fluid_optimal_energy(
+            core::clairvoyant_instance(inst), m, alpha, 50);
+        worst = std::max(worst, run.energy(alpha) / opt);
+      }
+      const double ub = analysis::avrq_m_energy_upper(alpha);
+      std::printf("%-8.2f %-4d %14.4f %18.2f %8s\n", alpha, m, worst, ub,
+                  verdict(worst, ub));
+    }
+  }
+
+  std::printf(
+      "\nTheorem 6.3 per-machine pointwise factor (proved <= 2), m = 4:\n");
+  double worst_factor = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const core::QInstance inst = make(seed);
+    const int m = 4;
+    const core::QbssMultiRun run = core::avrq_m(inst, m);
+    const scheduling::MachineSchedule star =
+        scheduling::avr_m(core::clairvoyant_instance(inst), m);
+    for (int i = 0; i < m; ++i) {
+      const StepFunction mine = run.schedule.machine_profile(i);
+      const StepFunction theirs = star.machine_profile(i);
+      for (const Segment& p : mine.pieces()) {
+        const Time probe = 0.5 * (p.span.begin + p.span.end);
+        const double denom = theirs.value(probe);
+        if (denom > 0.0) {
+          worst_factor = std::max(worst_factor, p.value / denom);
+        }
+      }
+    }
+  }
+  std::printf("  measured max factor: %.4f  (%s)\n", worst_factor,
+              verdict(worst_factor, 2.0));
+  return 0;
+}

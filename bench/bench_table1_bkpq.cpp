@@ -1,0 +1,80 @@
+// E5 — Table 1, BKPQ row (Corollary 5.5).
+//
+// Measured energy and max-speed ratios of BKPQ on online families against
+// the proven bounds (2+phi)^a 2(a/(a-1))^a e^a (energy) and (2+phi) e
+// (speed); the 3^(a-1) lower bound of the row is printed for reference.
+// Also verifies Theorem 5.4's pointwise factor (s_BKPQ <= (2+phi) s_BKP*).
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "bench/support.hpp"
+#include "common/constants.hpp"
+#include "gen/compression.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "scheduling/bkp.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  banner("E5", "Table 1 BKPQ row: online, golden-rule queries (Cor 5.5)");
+
+  gen::CompressionConfig stream_cfg;
+  stream_cfg.files = 15;
+  const std::vector<Family> families = {
+      {"online-mixed", [](std::uint64_t s) {
+         return gen::random_online(10, 8.0, 0.5, 4.0, s);
+       }, 20},
+      {"compression-stream", [=](std::uint64_t s) {
+         return gen::compression_stream(stream_cfg, 12.0, 3.0, s);
+       }, 20},
+  };
+
+  std::printf("%-8s %-20s %12s %12s %12s %10s %10s %8s\n", "alpha", "family",
+              "E-ratio max", "E-bound", "LB 3^(a-1)", "s-ratio",
+              "s-bound", "check");
+  rule(100);
+  for (const double alpha : {1.5, 2.0, 2.5, 3.0}) {
+    for (const Family& family : families) {
+      analysis::Aggregate agg;
+      double max_nominal_speed = 0.0;
+      for (std::uint64_t seed = 0;
+           seed < static_cast<std::uint64_t>(family.seeds); ++seed) {
+        const analysis::Measurement m =
+            analysis::measure(family.make(seed), core::bkpq, alpha);
+        agg.absorb(m);
+        max_nominal_speed = std::max(max_nominal_speed, m.nominal_speed_ratio);
+      }
+      const double e_bound = analysis::bkpq_energy_upper(alpha);
+      const double s_bound = analysis::bkpq_speed_upper();
+      std::printf("%-8.2f %-20s %12.4f %12.2f %12.4f %10.4f %10.4f %8s\n",
+                  alpha, family.name.c_str(), agg.max_nominal_energy_ratio,
+                  e_bound, analysis::bkpq_energy_lower(alpha),
+                  max_nominal_speed, s_bound,
+                  verdict(agg.max_nominal_energy_ratio, e_bound));
+      if (agg.infeasible > 0) return 1;
+    }
+  }
+
+  std::printf(
+      "\nTheorem 5.4 pointwise factor s_BKPQ(t)/s_BKP*(t) (proved <= 2+phi "
+      "= %.4f):\n",
+      2.0 + kPhi);
+  double worst = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const core::QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, seed);
+    const StepFunction mine = core::bkpq(inst).nominal;
+    const StepFunction star =
+        scheduling::bkp_profile(core::clairvoyant_instance(inst));
+    for (const Segment& p : mine.pieces()) {
+      const Time probe = 0.5 * (p.span.begin + p.span.end);
+      const double denom = star.value(probe);
+      if (denom > 0.0) worst = std::max(worst, p.value / denom);
+    }
+  }
+  std::printf("  measured max factor: %.4f  (%s)\n", worst,
+              verdict(worst, 2.0 + kPhi));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E3 — Table 1, CRAD row (Corollary 4.15).
+//
+// Measured ratios of CRAD (deadline rounding + CRP2D) on arbitrary
+// common-release deadlines, against (8 phi)^alpha, plus the measured
+// rounding cost of Lemma 4.14 (optimal energy inflation <= 2^alpha).
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "analysis/rho.hpp"
+#include "bench/support.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/crad.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  banner("E3", "Table 1 CRAD row: arbitrary deadlines (Cor 4.15)");
+
+  const Family family{"arbitrary-deadlines", [](std::uint64_t s) {
+                        return gen::random_arbitrary_deadlines(15, 12.0, s);
+                      }, 25};
+
+  std::printf("%-8s %14s %14s %14s %8s\n", "alpha", "E-ratio max",
+              "E-ratio avg", "(8phi)^a", "check");
+  rule(64);
+  for (const double alpha : analysis::rho_table_alphas()) {
+    const analysis::Aggregate agg = sweep(family, core::crad, alpha);
+    const double bound = analysis::crad_energy_upper(alpha);
+    std::printf("%-8.2f %14.4f %14.4f %14.4f %8s\n", alpha,
+                agg.max_energy_ratio, agg.mean_energy_ratio(), bound,
+                verdict(agg.max_energy_ratio, bound));
+    if (agg.infeasible > 0) return 1;
+  }
+
+  std::printf("\nLemma 4.14 rounding cost (worst over 25 seeds):\n");
+  std::printf("%-8s %18s %12s\n", "alpha", "E_rounded/E max", "2^a");
+  rule(40);
+  for (const double alpha : {1.5, 2.0, 2.5, 3.0}) {
+    double worst = 0.0;
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      const core::QInstance inst = family.make(seed);
+      worst = std::max(
+          worst, core::clairvoyant_energy(core::rounded_instance(inst),
+                                          alpha) /
+                     core::clairvoyant_energy(inst, alpha));
+    }
+    std::printf("%-8.2f %18.4f %12.4f\n", alpha, worst,
+                std::pow(2.0, alpha));
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E1 — Table 1, CRCD row (Theorem 4.6 / 4.8).
+//
+// Regenerates the CRCD entries of Table 1: for each alpha, the measured
+// worst-case energy and max-speed ratios of CRCD over common-release,
+// common-deadline families, printed next to the proven bounds
+// min{2^(a-1) phi^a, 2^a} (energy), the refined Theorem 4.8 value for
+// alpha >= 2, and 2 (speed). Shape check: measured <= bound everywhere,
+// and the adversarial family approaches the offline lower bound
+// max{phi^a, 2^(a-1)}.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/rho.hpp"
+#include "bench/support.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/crcd.hpp"
+
+namespace {
+
+using namespace qbss;
+using namespace qbss::bench;
+
+std::vector<Family> families() {
+  gen::LoadProfile incompressible;
+  incompressible.compress_min = 1.0;
+  incompressible.compress_max = 1.0;
+  gen::LoadProfile compressible;
+  compressible.compress_min = 0.0;
+  compressible.compress_max = 0.2;
+  compressible.query_frac_min = 0.05;
+  compressible.query_frac_max = 0.3;
+  gen::LoadProfile boundary;  // query costs straddle the golden threshold
+  boundary.query_frac_min = 0.5;
+  boundary.query_frac_max = 0.75;
+  return {
+      {"mixed", [](std::uint64_t s) {
+         return gen::random_common_deadline(15, 6.0, s);
+       }},
+      {"incompressible", [=](std::uint64_t s) {
+         return gen::random_common_deadline(15, 6.0, s, incompressible);
+       }},
+      {"compressible", [=](std::uint64_t s) {
+         return gen::random_common_deadline(15, 6.0, s, compressible);
+       }},
+      {"threshold-boundary", [=](std::uint64_t s) {
+         return gen::random_common_deadline(15, 6.0, s, boundary);
+       }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  banner("E1", "Table 1 CRCD row: common release, common deadline (Thm 4.6)");
+  std::printf("%-8s %-20s %12s %12s %12s %10s %10s %8s\n", "alpha", "family",
+              "E-ratio max", "E-ratio avg", "E-bound", "s-ratio", "s-bound",
+              "check");
+  rule(100);
+  for (const double alpha : analysis::rho_table_alphas()) {
+    for (const Family& family : families()) {
+      const analysis::Aggregate agg = sweep(family, qbss::core::crcd, alpha);
+      const double e_bound = analysis::crcd_energy_upper_refined(alpha);
+      std::printf("%-8.2f %-20s %12.4f %12.4f %12.4f %10.4f %10.4f %8s\n",
+                  alpha, family.name.c_str(), agg.max_energy_ratio,
+                  agg.mean_energy_ratio(), e_bound, agg.max_speed_ratio,
+                  analysis::crcd_speed_upper(),
+                  verdict(agg.max_energy_ratio, e_bound));
+      if (agg.infeasible > 0) {
+        std::printf("  !! %d infeasible runs\n", agg.infeasible);
+        return 1;
+      }
+    }
+  }
+  std::printf(
+      "\nOffline LB for reference (Lemma 4.2/4.3): energy max{phi^a, "
+      "2^(a-1)}, speed 2.\n");
+  for (const double alpha : {1.5, 2.0, 3.0}) {
+    std::printf("  alpha %.2f: energy LB %.4f\n", alpha,
+                qbss::analysis::offline_energy_lower(alpha));
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E2 — Table 1, CRP2D row (Theorem 4.13).
+//
+// Measured worst/mean energy ratios of CRP2D on common-release instances
+// with power-of-two deadlines, against the proven (4 phi)^alpha bound.
+// Also reports the intermediate analysis quantities: the measured factors
+// of Lemmas 4.9 (E'/E* <= phi^a), 4.10 (E'_1/2 / E' <= 2^a) and
+// Corollary 4.12 (E / E'_1/2 <= 2^a), showing where the proof's slack is.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "analysis/rho.hpp"
+#include "bench/support.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/crp2d.hpp"
+#include "qbss/transform.hpp"
+#include "scheduling/yds.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::bench;
+  banner("E2", "Table 1 CRP2D row: power-of-two deadlines (Thm 4.13)");
+
+  const Family family{"pow2-mixed", [](std::uint64_t s) {
+                        return gen::random_pow2_deadlines(15, 4, s);
+                      }, 25};
+
+  std::printf("%-8s %14s %14s %14s %8s\n", "alpha", "E-ratio max",
+              "E-ratio avg", "(4phi)^a", "check");
+  rule(64);
+  for (const double alpha : analysis::rho_table_alphas()) {
+    const analysis::Aggregate agg = sweep(family, core::crp2d, alpha);
+    const double bound = analysis::crp2d_energy_upper(alpha);
+    std::printf("%-8.2f %14.4f %14.4f %14.4f %8s\n", alpha,
+                agg.max_energy_ratio, agg.mean_energy_ratio(), bound,
+                verdict(agg.max_energy_ratio, bound));
+    if (agg.infeasible > 0) return 1;
+  }
+
+  std::printf("\nProof decomposition (worst over 25 seeds, alpha = 3):\n");
+  std::printf("%-26s %12s %12s\n", "link", "measured", "proved");
+  rule(54);
+  const double alpha = 3.0;
+  double worst49 = 0.0;
+  double worst410 = 0.0;
+  double worst412 = 0.0;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const core::QInstance inst = family.make(seed);
+    const core::AnalysisInstances ai = core::crp2d_analysis_instances(inst);
+    const Energy e_star = scheduling::optimal_energy(ai.star, alpha);
+    const Energy e_prime = scheduling::optimal_energy(ai.prime, alpha);
+    const Energy e_half = scheduling::optimal_energy(ai.half, alpha);
+    const Energy e_alg = core::crp2d(inst).energy(alpha);
+    worst49 = std::max(worst49, e_prime / e_star);
+    worst410 = std::max(worst410, e_half / e_prime);
+    worst412 = std::max(worst412, e_alg / e_half);
+  }
+  std::printf("%-26s %12.4f %12.4f\n", "Lemma 4.9   E'/E*", worst49,
+              std::pow(kPhi, alpha));
+  std::printf("%-26s %12.4f %12.4f\n", "Lemma 4.10  E_1/2/E'", worst410,
+              std::pow(2.0, alpha));
+  std::printf("%-26s %12.4f %12.4f\n", "Cor. 4.12   E_alg/E_1/2", worst412,
+              std::pow(2.0, alpha));
+  return 0;
+}

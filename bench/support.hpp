@@ -1,0 +1,52 @@
+// Shared support for the experiment benches: aligned table printing and
+// the instance-family sweep driver every bench_table1_* uses.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/ratio_harness.hpp"
+#include "qbss/qinstance.hpp"
+
+namespace qbss::bench {
+
+/// Prints a horizontal rule sized to `width`.
+inline void rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Prints a bench banner with the experiment id and paper artifact.
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================================\n");
+}
+
+/// A named family of instances for ratio sweeps.
+struct Family {
+  std::string name;
+  std::function<core::QInstance(std::uint64_t seed)> make;
+  int seeds = 20;
+};
+
+/// Runs `algorithm` over every (family, seed) and aggregates ratios.
+inline analysis::Aggregate sweep(const Family& family,
+                                 const analysis::SingleAlgorithm& algorithm,
+                                 double alpha) {
+  analysis::Aggregate agg;
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(family.seeds);
+       ++seed) {
+    agg.absorb(analysis::measure(family.make(seed), algorithm, alpha));
+  }
+  return agg;
+}
+
+/// Verdict glyph for "measured <= bound".
+inline const char* verdict(double measured, double bound) {
+  return measured <= bound + 1e-9 ? "ok" : "VIOLATED";
+}
+
+}  // namespace qbss::bench

@@ -1,0 +1,64 @@
+// Code-optimizer scenario (the paper's first motivating application,
+// after Duerr et al.).
+//
+// Jobs are programs arriving online; running the optimizer pass (the
+// query) costs 30% of the unoptimized runtime and, with probability p,
+// slashes the runtime to 15% — otherwise it achieves nothing. This
+// example sweeps the hit probability and compares the online algorithms,
+// showing where "optimize first" beats "just run it" on energy.
+//
+//   $ ./examples/code_optimizer
+#include <cstdio>
+
+#include "gen/optimizer.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/generic.hpp"
+#include "qbss/oaq.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::core;
+
+  const double alpha = 3.0;
+  const int seeds = 10;
+
+  std::printf("Mean energy ratio vs clairvoyant optimum by optimizer hit "
+              "probability (alpha=%.0f, %d seeds)\n\n",
+              alpha, seeds);
+  std::printf("%-8s %10s %10s %10s %10s\n", "p(hit)", "never", "AVRQ",
+              "BKPQ", "OAQ");
+  for (int i = 0; i < 52; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (const double p : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    double never = 0.0;
+    double r_avrq = 0.0;
+    double r_bkpq = 0.0;
+    double r_oaq = 0.0;
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      gen::OptimizerConfig cfg;
+      cfg.jobs = 20;
+      cfg.hit_probability = p;
+      const QInstance inst = gen::optimizer_instance(cfg, seed);
+      const Energy opt = clairvoyant_energy(inst, alpha);
+      never += avr_with_policies(inst, QueryPolicy::never(),
+                                 SplitPolicy::half())
+                   .energy(alpha) /
+               opt / seeds;
+      r_avrq += avrq(inst).energy(alpha) / opt / seeds;
+      r_bkpq += bkpq(inst).energy(alpha) / opt / seeds;
+      r_oaq += oaq(inst).energy(alpha) / opt / seeds;
+    }
+    std::printf("%-8.1f %10.3f %10.3f %10.3f %10.3f\n", p, never, r_avrq,
+                r_bkpq, r_oaq);
+  }
+
+  std::printf(
+      "\nReading: with no hits the optimizer pass is pure overhead and\n"
+      "never-query is unbeatable; as hits become likely, the querying\n"
+      "algorithms close in on the optimum (which itself shrinks). The\n"
+      "golden rule queries here since c = 0.3 w <= w/phi.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Datacenter scenario: QBSS on parallel identical machines.
+//
+// A bursty stream of analytics jobs lands on an m-machine cluster; every
+// job is probed (queried) for its true size before the main run — the
+// AVRQ(m) discipline of Section 6. This example sweeps the cluster size,
+// reporting total energy, the worst per-machine peak speed, and the
+// energy ratio against the parallel-execution relaxation lower bound.
+//
+//   $ ./examples/datacenter_multi
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/avrq_m.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "scheduling/multi/opt_bound.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::core;
+
+  const double alpha = 3.0;
+  // A bursty arrival pattern: many jobs with short windows.
+  const QInstance inst = gen::random_online(60, 10.0, 0.5, 2.0, 2024);
+  std::printf("workload: %zu jobs over a 12 s horizon\n\n", inst.size());
+
+  std::printf("%-6s %14s %14s %14s %14s %10s\n", "m", "energy",
+              "vs OPT(m) LB", "peak speed", "UB (Cor 6.4)", "valid");
+  for (int i = 0; i < 78; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  const scheduling::Instance clair = clairvoyant_instance(inst);
+  for (const int m : {1, 2, 4, 8, 16, 32}) {
+    const QbssMultiRun run = avrq_m(inst, m);
+    const bool ok = validate_multi_run(inst, run).feasible;
+    const Energy lb =
+        scheduling::multi_opt_energy_lower_bound(clair, m, alpha);
+    std::printf("%-6d %14.3f %14.3f %14.3f %14.1f %10s\n", m,
+                run.energy(alpha), run.energy(alpha) / lb, run.max_speed(),
+                analysis::avrq_m_energy_upper(alpha), ok ? "yes" : "NO");
+    if (!ok) return 1;
+  }
+
+  std::printf(
+      "\nReading: energy falls superlinearly with m (cubic power curve),\n"
+      "peak speed falls as load spreads, and the measured ratio always\n"
+      "stays far inside the 2^a (2^(a-1) a^a + 1) guarantee. The LB is\n"
+      "the relaxation bound m^(1-a) E_YDS, so true ratios are smaller.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// File-compression scenario (the paper's second motivating application).
+//
+// A speed-scaled server must ship files before their deadlines. For each
+// file it may first run a compression pass — a query of load
+// kappa * size — which reveals the compressed (exact) size. This example
+// sweeps the pass cost kappa over three corpora and compares query
+// policies, answering the operational question "when is it worth trying
+// to compress?" with the golden rule 1/phi as the reference line.
+//
+//   $ ./examples/file_compression
+#include <algorithm>
+#include <cstdio>
+
+#include "common/constants.hpp"
+#include "gen/compression.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/generic.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::core;
+
+  const double alpha = 3.0;
+  const int seeds = 10;
+
+  std::printf("Energy ratio vs clairvoyant optimum, by compression-pass "
+              "cost kappa (mean over %d seeds, alpha=%.0f)\n\n",
+              seeds, alpha);
+  std::printf("%-8s | %-9s %-28s | %-28s\n", "", "", "text corpus",
+              "media corpus");
+  std::printf("%-8s | %9s %9s %9s | %9s %9s %9s\n", "kappa", "never",
+              "always", "golden", "never", "always", "golden");
+  for (int i = 0; i < 72; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  for (const double kappa : {0.05, 0.2, 0.4, 0.55, 1.0 / kPhi, 0.7, 0.9}) {
+    double mean[2][3] = {};
+    const gen::CorpusKind corpora[2] = {gen::CorpusKind::kText,
+                                        gen::CorpusKind::kMedia};
+    for (int c = 0; c < 2; ++c) {
+      for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+        gen::CompressionConfig cfg;
+        cfg.corpus = corpora[c];
+        cfg.files = 25;
+        cfg.pass_cost_fraction = kappa;
+        const QInstance inst = gen::compression_instance(cfg, seed);
+        const Energy opt = clairvoyant_energy(inst, alpha);
+        const QueryPolicy policies[3] = {QueryPolicy::never(),
+                                         QueryPolicy::always(),
+                                         QueryPolicy::golden()};
+        for (int p = 0; p < 3; ++p) {
+          const QbssRun run =
+              avr_with_policies(inst, policies[p], SplitPolicy::half());
+          mean[c][p] += run.energy(alpha) / opt / seeds;
+        }
+      }
+    }
+    std::printf("%-8.3f | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f%s\n", kappa,
+                mean[0][0], mean[0][1], mean[0][2], mean[1][0], mean[1][1],
+                mean[1][2],
+                std::fabs(kappa - 1.0 / kPhi) < 1e-9 ? "   <- 1/phi" : "");
+  }
+
+  std::printf(
+      "\nReading: on text (compressible), always-querying wins until the\n"
+      "pass itself dominates; on media (incompressible), never-querying\n"
+      "wins. The golden rule tracks the better column on both sides of\n"
+      "kappa = 1/phi ~ %.3f, as Lemma 3.1 predicts.\n",
+      1.0 / kPhi);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: the smallest end-to-end tour of the QBSS library.
+//
+// Builds a five-job instance by hand, runs the online BKPQ algorithm,
+// validates the schedule against the model, and compares its energy and
+// maximum speed with the clairvoyant optimum and with the other
+// single-machine algorithms.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/oaq.hpp"
+#include "qbss/run.hpp"
+
+int main() {
+  using namespace qbss;
+  using namespace qbss::core;
+
+  // Each job is (release, deadline, query cost c, upper bound w, exact
+  // load w*). w* is hidden from the algorithms until they run the query.
+  QInstance instance;
+  instance.add(0.0, 4.0, 0.5, 3.0, 1.0);   // compresses well: query pays
+  instance.add(1.0, 5.0, 0.4, 2.0, 2.0);   // incompressible: query wasted
+  instance.add(2.0, 6.0, 1.8, 2.0, 0.2);   // query too dear: skip it
+  instance.add(2.5, 4.5, 0.3, 1.5, 0.6);   // tight window, decent win
+  instance.add(4.0, 8.0, 0.6, 4.0, 1.2);   // late arrival
+
+  const double alpha = 3.0;  // the classical CMOS exponent
+
+  // The clairvoyant optimum knows every w* upfront (YDS on p* loads).
+  const Energy opt_energy = clairvoyant_energy(instance, alpha);
+  const Speed opt_speed = clairvoyant_max_speed(instance);
+  std::printf("clairvoyant optimum: energy %.4f, max speed %.4f\n\n",
+              opt_energy, opt_speed);
+
+  // Run BKPQ: golden-ratio query rule + midpoint split + BKP online.
+  const QbssRun run = bkpq(instance);
+
+  // Never trust a schedule: validate it against the model.
+  const scheduling::ValidationReport report = validate_run(instance, run);
+  std::printf("BKPQ schedule valid: %s\n", report.feasible ? "yes" : "NO");
+
+  std::printf("BKPQ decisions:\n");
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    std::printf("  job %zu: %s\n", j,
+                run.expansion.queried[j] ? "queried" : "ran upper bound");
+  }
+
+  std::printf("\nBKPQ executed energy %.4f (ratio %.3f)\n",
+              run.energy(alpha), run.energy(alpha) / opt_energy);
+  std::printf("BKPQ nominal energy  %.4f (ratio %.3f, proven bound %.1f)\n",
+              run.nominal_energy(alpha),
+              run.nominal_energy(alpha) / opt_energy,
+              analysis::bkpq_energy_upper(alpha));
+  std::printf("BKPQ max speed       %.4f (ratio %.3f, proven bound %.3f)\n",
+              run.nominal_max_speed(), run.nominal_max_speed() / opt_speed,
+              analysis::bkpq_speed_upper());
+
+  // The machine's speed profile, piece by piece.
+  std::printf("\nBKPQ speed profile (executed):\n");
+  for (const Segment& p : run.schedule.speed().pieces()) {
+    std::printf("  (%5.2f, %5.2f]  speed %.4f\n", p.span.begin, p.span.end,
+                p.value);
+  }
+
+  // Compare with the other online algorithms.
+  std::printf("\nenergy ratios vs optimum (alpha = %.1f):\n", alpha);
+  std::printf("  AVRQ: %.3f\n", avrq(instance).energy(alpha) / opt_energy);
+  std::printf("  OAQ : %.3f\n", oaq(instance).energy(alpha) / opt_energy);
+  std::printf("  BKPQ: %.3f (executed)\n",
+              bkpq(instance).energy(alpha) / opt_energy);
+  return report.feasible ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+#include "analysis/fluid_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace qbss::analysis {
+
+using scheduling::ClassicalJob;
+using scheduling::Instance;
+
+Energy fluid_optimal_energy(const Instance& instance, double alpha,
+                            int sweeps) {
+  QBSS_EXPECTS(alpha > 1.0);
+  QBSS_EXPECTS(sweeps >= 1);
+  if (instance.empty()) return 0.0;
+
+  const std::vector<Time> grid = instance.event_times();
+  const std::size_t cells = grid.size() - 1;
+  const std::size_t n = instance.size();
+
+  std::vector<double> len(cells);
+  for (std::size_t e = 0; e < cells; ++e) len[e] = grid[e + 1] - grid[e];
+
+  // allowed[j]: elementary cells inside job j's window.
+  std::vector<std::vector<std::size_t>> allowed(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const ClassicalJob& job = instance.jobs()[j];
+    for (std::size_t e = 0; e < cells; ++e) {
+      if (job.release <= grid[e] && grid[e + 1] <= job.deadline) {
+        allowed[j].push_back(e);
+      }
+    }
+    QBSS_ENSURES(!allowed[j].empty());
+  }
+
+  // x[j][k]: work of job j in its k-th allowed cell. Start from the AVR
+  // allocation (proportional to cell length).
+  std::vector<std::vector<double>> x(n);
+  std::vector<double> aggregate(cells, 0.0);  // W_e
+  for (std::size_t j = 0; j < n; ++j) {
+    const ClassicalJob& job = instance.jobs()[j];
+    double window_len = 0.0;
+    for (const std::size_t e : allowed[j]) window_len += len[e];
+    x[j].resize(allowed[j].size());
+    for (std::size_t k = 0; k < allowed[j].size(); ++k) {
+      x[j][k] = job.work * len[allowed[j][k]] / window_len;
+      aggregate[allowed[j][k]] += x[j][k];
+    }
+  }
+
+  // Block-coordinate descent: re-optimize one job against the speeds the
+  // others induce. The exact block step is water-filling: raise the
+  // aggregate speed of the job's cells to a common level L.
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const ClassicalJob& job = instance.jobs()[j];
+      if (job.work <= 0.0) continue;
+
+      // Speeds without j's contribution.
+      std::vector<double> base(allowed[j].size());
+      double lo = kInf;
+      double total_len = 0.0;
+      for (std::size_t k = 0; k < allowed[j].size(); ++k) {
+        const std::size_t e = allowed[j][k];
+        aggregate[e] -= x[j][k];
+        base[k] = std::max(0.0, aggregate[e]) / len[e];
+        lo = std::min(lo, base[k]);
+        total_len += len[e];
+      }
+      double hi = job.work / total_len;
+      for (const double b : base) hi = std::max(hi, b);
+      hi += job.work / total_len;  // level can exceed max base by <= w/L
+
+      // Bisect the water level L: sum len_k (L - base_k)^+ = work.
+      for (int it = 0; it < 100; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        double volume = 0.0;
+        for (std::size_t k = 0; k < allowed[j].size(); ++k) {
+          volume += len[allowed[j][k]] * std::max(0.0, mid - base[k]);
+        }
+        (volume < job.work ? lo : hi) = mid;
+      }
+      const double level = 0.5 * (lo + hi);
+
+      double assigned = 0.0;
+      for (std::size_t k = 0; k < allowed[j].size(); ++k) {
+        x[j][k] = len[allowed[j][k]] * std::max(0.0, level - base[k]);
+        assigned += x[j][k];
+      }
+      // Normalize residual bisection error so work is conserved exactly.
+      if (assigned > 0.0) {
+        const double scale = job.work / assigned;
+        for (double& v : x[j]) v *= scale;
+      }
+      for (std::size_t k = 0; k < allowed[j].size(); ++k) {
+        aggregate[allowed[j][k]] += x[j][k];
+      }
+    }
+  }
+
+  Energy energy = 0.0;
+  for (std::size_t e = 0; e < cells; ++e) {
+    if (aggregate[e] > 0.0) {
+      energy += len[e] * std::pow(aggregate[e] / len[e], alpha);
+    }
+  }
+  return energy;
+}
+
+}  // namespace qbss::analysis

@@ -1,0 +1,21 @@
+// Numeric reference optimum for classical instances, independent of YDS.
+//
+// The preemptive single-machine problem is exactly its fluid relaxation:
+// choose how much of each job to execute in each elementary interval
+// (between consecutive event times) so that per-interval aggregate speed
+// minimizes sum len_e * (W_e / len_e)^alpha. That is a smooth convex
+// program; block-coordinate descent over jobs — each step an exact
+// water-filling — converges to its optimum. Tests cross-check YDS against
+// this solver on random instances; benches may use it as a second opinion.
+#pragma once
+
+#include "scheduling/instance.hpp"
+
+namespace qbss::analysis {
+
+/// Reference optimal energy to ~1e-6 relative accuracy on the instance
+/// sizes used in tests (convergence is geometric; `sweeps` full passes).
+[[nodiscard]] Energy fluid_optimal_energy(const scheduling::Instance& instance,
+                                          double alpha, int sweeps = 400);
+
+}  // namespace qbss::analysis

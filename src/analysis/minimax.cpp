@@ -1,0 +1,66 @@
+#include "analysis/minimax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+#include "qbss/oracle.hpp"
+
+namespace qbss::analysis {
+
+namespace {
+
+using core::QJob;
+using core::run_with_query;
+using core::run_without_query;
+using core::single_job_optimum;
+
+/// Adversary's best response (per objective) to a committed strategy,
+/// scanned over a w* grid (the ratio is piecewise monotone in w*, so a
+/// fine grid plus the endpoints is accurate).
+GameValue adversary_best(bool queries, double x, double gamma, double alpha,
+                         int w_grid) {
+  GameValue worst;
+  for (int i = 0; i <= w_grid; ++i) {
+    const double wstar = static_cast<double>(i) / w_grid;
+    const QJob job{0.0, 1.0, gamma, 1.0, wstar};
+    const auto alg = queries ? run_with_query(job, x, alpha)
+                             : run_without_query(job, alpha);
+    const auto opt = single_job_optimum(job, alpha);
+    worst.speed = std::max(worst.speed, alg.max_speed / opt.max_speed);
+    worst.energy = std::max(worst.energy, alg.energy / opt.energy);
+  }
+  return worst;
+}
+
+}  // namespace
+
+GameValue single_job_game_value(double gamma, double alpha, int x_grid,
+                                int w_grid) {
+  QBSS_EXPECTS(gamma > 0.0 && gamma <= 1.0);
+  QBSS_EXPECTS(alpha > 1.0 && x_grid >= 2 && w_grid >= 2);
+
+  GameValue best = adversary_best(false, 0.5, gamma, alpha, w_grid);
+  for (int i = 1; i < x_grid; ++i) {
+    const double x = static_cast<double>(i) / x_grid;
+    const GameValue v = adversary_best(true, x, gamma, alpha, w_grid);
+    best.speed = std::min(best.speed, v.speed);
+    best.energy = std::min(best.energy, v.energy);
+  }
+  return best;
+}
+
+GameValue single_job_oracle_game_value(double gamma, double alpha) {
+  QBSS_EXPECTS(gamma > 0.0 && gamma <= 1.0);
+  QBSS_EXPECTS(alpha > 1.0);
+  // Skip: adversary sets w* = 0, ratio 1/min(1, gamma) = 1/gamma.
+  // Query (oracle split): adversary sets w* = w, flat speed gamma + 1
+  //   against OPT = min(1, gamma + 1) = 1.
+  const double value = std::min(1.0 / gamma, 1.0 + gamma);
+  return {value, std::pow(value, alpha)};
+}
+
+double hardest_query_fraction() { return 1.0 / kPhi; }
+
+}  // namespace qbss::analysis

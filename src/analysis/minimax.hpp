@@ -1,0 +1,38 @@
+// Exact single-job game values — Section 4.1's lemmas generalized from
+// spot constructions to the whole curve.
+//
+// The single-job game: the window is (0, 1], the upper bound w = 1, the
+// query cost is gamma = c/w in (0, 1]. The deterministic algorithm
+// commits to "skip" or "query with split x"; the adversary then picks
+// w* in [0, 1] maximizing ALG/OPT. Lemma 4.2 evaluates the oracle-model
+// game at gamma = 1/phi (value phi); Lemma 4.3 evaluates the full game
+// at gamma = 1/2 (value 2 / 2^(alpha-1)). These solvers compute the
+// value at *every* gamma, so bench_minimax can draw the whole curve and
+// show the lemmas as its extreme points.
+#pragma once
+
+namespace qbss::analysis {
+
+/// Value of one game (per objective).
+struct GameValue {
+  double speed = 0.0;
+  double energy = 0.0;
+};
+
+/// Full deterministic game (algorithm commits to skip/(query, x) before
+/// the adversary answers), solved numerically on grids over x and w*.
+[[nodiscard]] GameValue single_job_game_value(double gamma, double alpha,
+                                              int x_grid = 512,
+                                              int w_grid = 512);
+
+/// Oracle-model game (the split is chosen optimally *after* w* is known;
+/// the algorithm only commits to query-or-not). Closed form:
+/// speed value = min(1/gamma, 1 + gamma), energy value = speed^alpha.
+[[nodiscard]] GameValue single_job_oracle_game_value(double gamma,
+                                                     double alpha);
+
+/// The query fraction maximizing the oracle game value: 1/phi, where
+/// 1/gamma = 1 + gamma (the golden-ratio equation of Lemma 4.2).
+[[nodiscard]] double hardest_query_fraction();
+
+}  // namespace qbss::analysis

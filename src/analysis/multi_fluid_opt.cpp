@@ -1,0 +1,200 @@
+#include "analysis/multi_fluid_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace qbss::analysis {
+
+using scheduling::ClassicalJob;
+using scheduling::Instance;
+
+namespace {
+
+/// The level partition of one cell: sorted-descending densities, peel a
+/// job while it exceeds the average of the remainder over the remaining
+/// machines. Returns the per-position speeds aligned with the sorted
+/// order (callers map back by index).
+struct Level {
+  std::vector<Speed> speeds;  ///< per sorted position
+  Energy energy = 0.0;
+};
+
+Level level_partition(std::vector<Work> sorted_works, Time length,
+                      int machines, double alpha) {
+  Level out;
+  out.speeds.resize(sorted_works.size(), 0.0);
+  Work rest = 0.0;
+  for (const Work w : sorted_works) rest += w;
+
+  std::size_t next = 0;
+  int free_machines = machines;
+  while (next < sorted_works.size() && free_machines > 1 &&
+         sorted_works[next] * static_cast<double>(free_machines) >
+             rest) {
+    const Speed s = sorted_works[next] / length;
+    out.speeds[next] = s;
+    out.energy += length * std::pow(s, alpha);
+    rest -= sorted_works[next];
+    --free_machines;
+    ++next;
+  }
+  if (next < sorted_works.size() && rest > 0.0) {
+    const Speed sigma =
+        rest / (static_cast<double>(free_machines) * length);
+    for (std::size_t i = next; i < sorted_works.size(); ++i) {
+      out.speeds[i] = sigma;
+    }
+    out.energy += static_cast<double>(free_machines) * length *
+                  std::pow(sigma, alpha);
+  }
+  return out;
+}
+
+/// Sorted copy with an index map back to the caller's order.
+struct SortedView {
+  std::vector<Work> works;
+  std::vector<std::size_t> order;  ///< order[k] = original index
+};
+
+SortedView sort_desc(std::span<const Work> works) {
+  SortedView v;
+  v.order.resize(works.size());
+  for (std::size_t i = 0; i < works.size(); ++i) v.order[i] = i;
+  std::sort(v.order.begin(), v.order.end(),
+            [&](std::size_t a, std::size_t b) { return works[a] > works[b]; });
+  v.works.reserve(works.size());
+  for (const std::size_t i : v.order) v.works.push_back(works[i]);
+  return v;
+}
+
+}  // namespace
+
+Energy multi_cell_energy(std::span<const Work> works, Time length,
+                         int machines, double alpha) {
+  QBSS_EXPECTS(length > 0.0 && machines >= 1 && alpha > 1.0);
+  const SortedView v = sort_desc(works);
+  return level_partition(v.works, length, machines, alpha).energy;
+}
+
+Speed multi_cell_job_speed(std::span<const Work> works, std::size_t index,
+                           Time length, int machines, double alpha) {
+  QBSS_EXPECTS(index < works.size());
+  const SortedView v = sort_desc(works);
+  const Level level = level_partition(v.works, length, machines, alpha);
+  for (std::size_t k = 0; k < v.order.size(); ++k) {
+    if (v.order[k] == index) return level.speeds[k];
+  }
+  return 0.0;
+}
+
+Energy multi_fluid_optimal_energy(const Instance& instance, int machines,
+                                  double alpha, int sweeps) {
+  QBSS_EXPECTS(machines >= 1 && alpha > 1.0 && sweeps >= 1);
+  if (instance.empty()) return 0.0;
+
+  const std::vector<Time> grid = instance.event_times();
+  const std::size_t cells = grid.size() - 1;
+  const std::size_t n = instance.size();
+
+  std::vector<Time> len(cells);
+  for (std::size_t e = 0; e < cells; ++e) len[e] = grid[e + 1] - grid[e];
+
+  std::vector<std::vector<std::size_t>> allowed(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const ClassicalJob& job = instance.jobs()[j];
+    for (std::size_t e = 0; e < cells; ++e) {
+      if (job.release <= grid[e] && grid[e + 1] <= job.deadline) {
+        allowed[j].push_back(e);
+      }
+    }
+    QBSS_ENSURES(!allowed[j].empty());
+  }
+
+  // q[e][j]: work of job j in cell e (dense per cell for the partition).
+  std::vector<std::vector<Work>> q(cells, std::vector<Work>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    Time window_len = 0.0;
+    for (const std::size_t e : allowed[j]) window_len += len[e];
+    for (const std::size_t e : allowed[j]) {
+      q[e][j] = instance.jobs()[j].work * len[e] / window_len;
+    }
+  }
+
+  // Job j's speed in cell e if it carried `work` there, others fixed.
+  const auto speed_of = [&](std::size_t e, std::size_t j, Work work) {
+    std::vector<Work> cell = q[e];
+    cell[j] = work;
+    return multi_cell_job_speed(cell, j, len[e], machines, alpha);
+  };
+
+  // The work that drives job j's speed in cell e up to `target` (its
+  // speed is continuous and nondecreasing in its work, capped by
+  // target*len when it runs alone).
+  const auto work_at_speed = [&](std::size_t e, std::size_t j,
+                                 Speed target) -> Work {
+    if (speed_of(e, j, 0.0) >= target) return 0.0;
+    Work lo = 0.0;
+    Work hi = target * len[e];
+    if (speed_of(e, j, hi) <= target + 1e-12) return hi;
+    for (int it = 0; it < 50; ++it) {
+      const Work mid = 0.5 * (lo + hi);
+      (speed_of(e, j, mid) < target ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const Work w = instance.jobs()[j].work;
+      if (w <= 0.0) continue;
+      for (const std::size_t e : allowed[j]) q[e][j] = 0.0;
+
+      // Equalize marginals: find the speed level whose per-cell works sum
+      // to w (the block-exact step; marginal = alpha * speed^(alpha-1)).
+      Speed lo = 0.0;
+      Speed hi = 0.0;
+      Time window_len = 0.0;
+      for (const std::size_t e : allowed[j]) {
+        hi = std::max(hi, speed_of(e, j, 0.0));
+        window_len += len[e];
+      }
+      hi += w / window_len + 1.0;
+      for (int it = 0; it < 60; ++it) {
+        const Speed level = 0.5 * (lo + hi);
+        Work total = 0.0;
+        for (const std::size_t e : allowed[j]) {
+          total += work_at_speed(e, j, level);
+        }
+        (total < w ? lo : hi) = level;
+      }
+      const Speed level = 0.5 * (lo + hi);
+
+      Work assigned = 0.0;
+      for (const std::size_t e : allowed[j]) {
+        q[e][j] = work_at_speed(e, j, level);
+        assigned += q[e][j];
+      }
+      // Absorb bisection residue, keeping the total exact.
+      if (assigned > 0.0) {
+        const double scale = w / assigned;
+        for (const std::size_t e : allowed[j]) q[e][j] *= scale;
+      } else {
+        // Degenerate start (level 0): spread uniformly.
+        for (const std::size_t e : allowed[j]) {
+          q[e][j] = w * len[e] / window_len;
+        }
+      }
+    }
+  }
+
+  Energy energy = 0.0;
+  for (std::size_t e = 0; e < cells; ++e) {
+    energy += multi_cell_energy(q[e], len[e], machines, alpha);
+  }
+  return energy;
+}
+
+}  // namespace qbss::analysis

@@ -1,0 +1,49 @@
+// Numeric reference optimum for the migratory m-machine problem.
+//
+// The paper compares AVRQ(m) against the optimal migratory schedule of
+// Albers et al. [2]. This solver computes that optimum numerically:
+//
+//  * Within one elementary cell (no arrivals/expiries), once each job's
+//    cell work q_j is fixed, the energy-minimal m-machine execution has
+//    the classic level structure: jobs denser than the average of the
+//    rest run alone at their own density, everyone else shares the
+//    remaining machines at the common average speed (the same partition
+//    AVR(m) uses per slot — here it is *optimal* because densities are
+//    per-cell optimization variables, not online averages). That cell
+//    energy is a convex function of the q vector.
+//
+//  * Across cells, choose the q_{j,cell} >= 0 (window-supported, summing
+//    to w_j) minimizing total energy — a smooth convex program solved by
+//    block-coordinate descent with exact per-job marginal equalization
+//    (bisection over the marginal level; the marginal of job j in a cell
+//    is alpha * (its speed there)^(alpha-1)).
+//
+// Exact up to descent tolerance; use on small instances (tests, and the
+// exact-OPT column of bench_table1_avrq_m).
+#pragma once
+
+#include <span>
+
+#include "scheduling/instance.hpp"
+
+namespace qbss::analysis {
+
+/// Minimal energy to execute `works` within a cell of length `length` on
+/// `machines` identical machines (migration allowed, no job on two
+/// machines at once). Exposed for direct testing.
+[[nodiscard]] Energy multi_cell_energy(std::span<const Work> works,
+                                       Time length, int machines,
+                                       double alpha);
+
+/// The speed at which job `index` runs within the cell under the optimal
+/// level structure (its own density if "big", else the pooled speed).
+[[nodiscard]] Speed multi_cell_job_speed(std::span<const Work> works,
+                                         std::size_t index, Time length,
+                                         int machines, double alpha);
+
+/// Numeric optimal energy for `instance` on `machines` machines.
+[[nodiscard]] Energy multi_fluid_optimal_energy(
+    const scheduling::Instance& instance, int machines, double alpha,
+    int sweeps = 60);
+
+}  // namespace qbss::analysis

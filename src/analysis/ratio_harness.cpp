@@ -1,0 +1,39 @@
+#include "analysis/ratio_harness.hpp"
+
+#include <algorithm>
+
+#include "qbss/clairvoyant.hpp"
+
+namespace qbss::analysis {
+
+Measurement measure(const core::QInstance& instance,
+                    const SingleAlgorithm& algorithm, double alpha) {
+  const scheduling::Schedule opt = core::clairvoyant_schedule(instance);
+  const Energy opt_energy = opt.energy(alpha);
+  const Speed opt_speed = opt.max_speed();
+  QBSS_EXPECTS(opt_energy > 0.0 && opt_speed > 0.0);
+
+  const core::QbssRun run = algorithm(instance);
+
+  Measurement m;
+  m.energy_ratio = run.energy(alpha) / opt_energy;
+  m.nominal_energy_ratio = run.nominal_energy(alpha) / opt_energy;
+  m.speed_ratio = run.max_speed() / opt_speed;
+  m.nominal_speed_ratio = run.nominal_max_speed() / opt_speed;
+  m.feasible =
+      run.feasible && core::validate_run(instance, run).feasible;
+  return m;
+}
+
+void Aggregate::absorb(const Measurement& m) {
+  ++count;
+  if (!m.feasible) ++infeasible;
+  max_energy_ratio = std::max(max_energy_ratio, m.energy_ratio);
+  sum_energy_ratio += m.energy_ratio;
+  max_nominal_energy_ratio =
+      std::max(max_nominal_energy_ratio, m.nominal_energy_ratio);
+  max_speed_ratio = std::max(max_speed_ratio, m.speed_ratio);
+  sum_speed_ratio += m.speed_ratio;
+}
+
+}  // namespace qbss::analysis

@@ -1,0 +1,54 @@
+// Measuring competitive/approximation ratios against the clairvoyant
+// optimum — the workhorse behind every Table 1 bench and the bound tests.
+#pragma once
+
+#include <functional>
+
+#include "qbss/run.hpp"
+
+namespace qbss::analysis {
+
+/// A single-machine QBSS algorithm under measurement.
+using SingleAlgorithm = std::function<core::QbssRun(const core::QInstance&)>;
+
+/// Ratios of one run against the clairvoyant optimum.
+struct Measurement {
+  /// Executed energy / optimal energy.
+  double energy_ratio = 0.0;
+  /// Nominal-profile energy / optimal energy (the analyzed quantity; for
+  /// profile-driven algorithms like BKPQ this can exceed energy_ratio).
+  double nominal_energy_ratio = 0.0;
+  /// Max executed speed / optimal max speed.
+  double speed_ratio = 0.0;
+  /// Nominal max speed / optimal max speed.
+  double nominal_speed_ratio = 0.0;
+  /// validate_run verdict (model + schedule feasibility).
+  bool feasible = false;
+};
+
+/// Runs `algorithm` on `instance` and measures it against the clairvoyant
+/// YDS optimum at exponent `alpha`.
+[[nodiscard]] Measurement measure(const core::QInstance& instance,
+                                  const SingleAlgorithm& algorithm,
+                                  double alpha);
+
+/// Worst/average ratios across a family of instances.
+struct Aggregate {
+  int count = 0;
+  int infeasible = 0;
+  double max_energy_ratio = 0.0;
+  double sum_energy_ratio = 0.0;
+  double max_nominal_energy_ratio = 0.0;
+  double max_speed_ratio = 0.0;
+  double sum_speed_ratio = 0.0;
+
+  void absorb(const Measurement& m);
+  [[nodiscard]] double mean_energy_ratio() const {
+    return count > 0 ? sum_energy_ratio / count : 0.0;
+  }
+  [[nodiscard]] double mean_speed_ratio() const {
+    return count > 0 ? sum_speed_ratio / count : 0.0;
+  }
+};
+
+}  // namespace qbss::analysis

@@ -1,0 +1,96 @@
+#include "analysis/rho.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/constants.hpp"
+
+namespace qbss::analysis {
+
+double rho1(double alpha) {
+  QBSS_EXPECTS(alpha > 1.0);
+  return std::pow(2.0, alpha - 1.0) * std::pow(kPhi, alpha);
+}
+
+double rho2(double alpha) {
+  QBSS_EXPECTS(alpha > 1.0);
+  return std::pow(2.0, alpha);
+}
+
+double rho3_f1(double alpha, double r) {
+  QBSS_EXPECTS(r >= 1.0);
+  return std::pow(2.0, alpha - 1.0) * (1.0 + std::pow(r, -alpha));
+}
+
+double rho3_f2(double alpha, double r) {
+  QBSS_EXPECTS(r >= 1.0);
+  return rho1(alpha) *
+         (1.0 - alpha * std::pow(r, alpha - 1.0) / std::pow(r + 1.0, alpha));
+}
+
+namespace {
+
+double min_f(double alpha, double r) {
+  return std::min(rho3_f1(alpha, r), rho3_f2(alpha, r));
+}
+
+/// Coarse log-grid scan, then golden-section refinement around the best
+/// bracket. min{f1, f2} is unimodal in r on [1, inf): f1 decreases from
+/// 2^a to 2^(a-1) and f2 tends to rho1 > 2^(a-1).
+double maximize(double alpha) {
+  double best_r = 1.0;
+  double best = min_f(alpha, 1.0);
+  constexpr int kGrid = 4000;
+  const double log_hi = std::log(1e6);
+  for (int i = 1; i <= kGrid; ++i) {
+    const double r = std::exp(log_hi * i / kGrid);
+    const double v = min_f(alpha, r);
+    if (v > best) {
+      best = v;
+      best_r = r;
+    }
+  }
+  // Golden-section refine in a bracket around best_r.
+  double lo = std::max(1.0, best_r / 1.1);
+  double hi = best_r * 1.1;
+  const double inv_phi = 1.0 / kPhi;
+  double a = hi - (hi - lo) * inv_phi;
+  double b = lo + (hi - lo) * inv_phi;
+  for (int it = 0; it < 200; ++it) {
+    if (min_f(alpha, a) < min_f(alpha, b)) {
+      lo = a;
+    } else {
+      hi = b;
+    }
+    a = hi - (hi - lo) * inv_phi;
+    b = lo + (hi - lo) * inv_phi;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double rho3_argmax(double alpha) {
+  QBSS_EXPECTS(alpha >= 2.0);
+  return maximize(alpha);
+}
+
+double rho3(double alpha) {
+  QBSS_EXPECTS(alpha >= 2.0);
+  return min_f(alpha, maximize(alpha));
+}
+
+std::array<double, 8> rho_table_alphas() {
+  return {1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0};
+}
+
+std::vector<RhoRow> rho_table() {
+  std::vector<RhoRow> rows;
+  for (const double a : rho_table_alphas()) {
+    rows.push_back({a, rho1(a), rho2(a), a >= 2.0 ? rho3(a) : 0.0});
+  }
+  return rows;
+}
+
+}  // namespace qbss::analysis

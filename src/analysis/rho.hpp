@@ -1,0 +1,49 @@
+// The three CRCD energy ratios of Section 4.2 and the paper's numeric
+// comparison table.
+//
+//   rho1(a) = 2^(a-1) phi^a                       (Theorem 4.6, 1st bound)
+//   rho2(a) = 2^a                                 (Theorem 4.6, 2nd bound)
+//   rho3(a) = max_{r>=1} min{f1(r), f2(r)}        (Theorem 4.8, a >= 2)
+// with
+//   f1(r) = 2^(a-1) (1 + 1/r^a)
+//   f2(r) = 2^(a-1) phi^a (1 - a r^(a-1)/(r+1)^a)
+//
+// The paper reports: rho1 best for 1 < a <= 1.44, rho2 best for
+// 1.44 < a < 2, rho3 best for a >= 2.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace qbss::analysis {
+
+[[nodiscard]] double rho1(double alpha);
+[[nodiscard]] double rho2(double alpha);
+
+/// f1/f2 of Theorem 4.8 (exposed for the bench that plots the crossover).
+[[nodiscard]] double rho3_f1(double alpha, double r);
+[[nodiscard]] double rho3_f2(double alpha, double r);
+
+/// rho3 via golden-section refinement of a coarse log-grid over r in
+/// [1, 1e6]; accurate to ~1e-9 (min of one decreasing and one eventually
+/// increasing curve; the maximin sits at their crossing or at r = 1).
+[[nodiscard]] double rho3(double alpha);
+
+/// The maximizing r itself (for diagnostics/plots).
+[[nodiscard]] double rho3_argmax(double alpha);
+
+/// One row of the paper's Section 4.2 table.
+struct RhoRow {
+  double alpha;
+  double rho1;
+  double rho2;
+  double rho3;  ///< 0 when alpha < 2, matching the paper's table
+};
+
+/// The paper's table: alpha in {1.25, 1.5, ..., 3}.
+[[nodiscard]] std::vector<RhoRow> rho_table();
+
+/// The alpha grid the paper prints.
+[[nodiscard]] std::array<double, 8> rho_table_alphas();
+
+}  // namespace qbss::analysis

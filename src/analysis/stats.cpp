@@ -1,0 +1,56 @@
+#include "analysis/stats.hpp"
+
+#include <cstdio>
+
+#include "common/piecewise.hpp"
+#include "qbss/policy.hpp"
+
+namespace qbss::analysis {
+
+InstanceStats instance_stats(const core::QInstance& instance) {
+  InstanceStats out;
+  out.jobs = instance.size();
+  if (instance.empty()) return out;
+
+  const core::QueryPolicy golden = core::QueryPolicy::golden();
+  const double n = static_cast<double>(instance.size());
+  std::vector<Segment> densities;
+  for (const core::QJob& j : instance.jobs()) {
+    out.horizon = std::max(out.horizon, j.deadline);
+    out.total_upper_bound += j.upper_bound;
+    out.total_best_load += j.best_load();
+    out.mean_query_fraction += j.query_cost / j.upper_bound / n;
+    out.mean_compressibility += j.exact_load / j.upper_bound / n;
+    const bool opt_queries = j.optimum_queries();
+    const bool golden_queries = golden.should_query(j);
+    out.optimum_query_share += opt_queries ? 1.0 / n : 0.0;
+    out.golden_query_share += golden_queries ? 1.0 / n : 0.0;
+    out.golden_agreement += (opt_queries == golden_queries) ? 1.0 / n : 0.0;
+    out.mean_window += j.window_length() / n;
+    densities.push_back(
+        {j.window(), j.best_load() / j.window_length()});
+  }
+  out.potential_gain = out.total_upper_bound / out.total_best_load;
+  out.peak_density = StepFunction::sum_of(densities).max_value();
+  return out;
+}
+
+void print_stats(const InstanceStats& stats) {
+  std::printf("jobs:                  %zu\n", stats.jobs);
+  std::printf("horizon:               %.4g\n", stats.horizon);
+  std::printf("total upper bound:     %.4g\n", stats.total_upper_bound);
+  std::printf("total clairvoyant:     %.4g\n", stats.total_best_load);
+  std::printf("potential gain (w/p*): %.4f\n", stats.potential_gain);
+  std::printf("mean query fraction:   %.4f\n", stats.mean_query_fraction);
+  std::printf("mean compressibility:  %.4f\n", stats.mean_compressibility);
+  std::printf("optimum queries:       %.0f%%\n",
+              100.0 * stats.optimum_query_share);
+  std::printf("golden rule queries:   %.0f%%\n",
+              100.0 * stats.golden_query_share);
+  std::printf("golden agreement:      %.0f%%\n",
+              100.0 * stats.golden_agreement);
+  std::printf("peak density (p*):     %.4g\n", stats.peak_density);
+  std::printf("mean window:           %.4g\n", stats.mean_window);
+}
+
+}  // namespace qbss::analysis

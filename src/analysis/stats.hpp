@@ -1,0 +1,39 @@
+// Instance statistics: the structural quantities that determine how hard
+// a QBSS instance is and how much querying can help. Benches and the CLI
+// use these to contextualize measured ratios.
+#pragma once
+
+#include "qbss/qinstance.hpp"
+#include "scheduling/instance.hpp"
+
+namespace qbss::analysis {
+
+/// Summary statistics of a QBSS instance.
+struct InstanceStats {
+  std::size_t jobs = 0;
+  Time horizon = 0.0;             ///< latest deadline
+  Work total_upper_bound = 0.0;   ///< sum of w_j
+  Work total_best_load = 0.0;     ///< sum of p*_j
+  double mean_query_fraction = 0.0;   ///< mean c_j / w_j
+  double mean_compressibility = 0.0;  ///< mean w*_j / w_j
+  /// Fraction of jobs where the clairvoyant optimum queries.
+  double optimum_query_share = 0.0;
+  /// Fraction of jobs the golden rule queries.
+  double golden_query_share = 0.0;
+  /// Fraction of jobs where golden rule and optimum agree.
+  double golden_agreement = 0.0;
+  /// sum w_j / sum p*_j — the whole-instance load that querying saves.
+  double potential_gain = 0.0;
+  /// Peak aggregate density of the clairvoyant loads (a speed scale).
+  Speed peak_density = 0.0;
+  /// Mean window length.
+  Time mean_window = 0.0;
+};
+
+/// Computes the statistics (O(n^2) for the peak density sweep).
+[[nodiscard]] InstanceStats instance_stats(const core::QInstance& instance);
+
+/// Prints a human-readable block to a FILE* (used by the CLI).
+void print_stats(const InstanceStats& stats);
+
+}  // namespace qbss::analysis

@@ -1,0 +1,30 @@
+// Precondition / invariant checking in the spirit of the C++ Core
+// Guidelines' Expects/Ensures. Violations are programming errors, not
+// recoverable conditions, so they terminate with a diagnostic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qbss::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "qbss: %s violated: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace qbss::detail
+
+/// Checked precondition: aborts with a message when `cond` is false.
+#define QBSS_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : qbss::detail::contract_failure("precondition", #cond, __FILE__, \
+                                           __LINE__))
+
+/// Checked invariant/postcondition: aborts with a message when false.
+#define QBSS_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : qbss::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                           __LINE__))

@@ -1,0 +1,13 @@
+// Mathematical constants used throughout the paper's bounds.
+#pragma once
+
+namespace qbss {
+
+/// Golden ratio phi = (1 + sqrt(5)) / 2, the query-decision threshold of
+/// Lemma 3.1: query job j iff c_j <= w_j / phi.
+inline constexpr double kPhi = 1.6180339887498948482;
+
+/// Euler's number, the speed multiplier of the BKP algorithm.
+inline constexpr double kE = 2.7182818284590452354;
+
+}  // namespace qbss

@@ -1,0 +1,54 @@
+// Half-open time interval (begin, end] — the paper's convention for active
+// windows: job j must execute within (r_j, d_j].
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/real.hpp"
+
+namespace qbss {
+
+/// Half-open interval (begin, end]. Empty iff begin >= end.
+struct Interval {
+  Time begin = 0.0;
+  Time end = 0.0;
+
+  [[nodiscard]] constexpr Time length() const noexcept {
+    return std::max(0.0, end - begin);
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return end <= begin; }
+
+  /// True iff t lies in (begin, end].
+  [[nodiscard]] constexpr bool contains(Time t) const noexcept {
+    return begin < t && t <= end;
+  }
+  /// True iff `other` is a subset of this interval.
+  [[nodiscard]] constexpr bool covers(const Interval& other) const noexcept {
+    return begin <= other.begin && other.end <= end;
+  }
+  /// Intersection (may be empty).
+  [[nodiscard]] constexpr Interval intersect(
+      const Interval& other) const noexcept {
+    return {std::max(begin, other.begin), std::min(end, other.end)};
+  }
+  /// True iff the two intervals share interior points.
+  [[nodiscard]] constexpr bool overlaps(const Interval& other) const noexcept {
+    return !intersect(other).empty();
+  }
+  /// Midpoint (r + d) / 2 — the equal-window splitting point.
+  [[nodiscard]] constexpr Time midpoint() const noexcept {
+    return 0.5 * (begin + end);
+  }
+
+  friend constexpr bool operator==(const Interval&,
+                                   const Interval&) = default;
+};
+
+/// Interval with validated non-emptiness; factory for job windows.
+[[nodiscard]] inline Interval make_window(Time r, Time d) {
+  QBSS_EXPECTS(r < d);
+  return {r, d};
+}
+
+}  // namespace qbss

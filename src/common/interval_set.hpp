@@ -1,0 +1,83 @@
+// A set of disjoint half-open intervals with union/subtract/measure — the
+// bookkeeping YDS needs to treat already-scheduled critical intervals as
+// unavailable time.
+#pragma once
+
+#include <vector>
+
+#include "common/interval.hpp"
+
+namespace qbss {
+
+/// Sorted union of disjoint non-empty intervals. Value semantics.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Adds `iv` (unioning with any overlapping members).
+  void insert(Interval iv) {
+    if (iv.empty()) return;
+    std::vector<Interval> out;
+    out.reserve(members_.size() + 1);
+    for (const Interval& m : members_) {
+      if (m.end < iv.begin || iv.end < m.begin) {
+        out.push_back(m);  // disjoint, not even touching
+      } else {             // overlapping or adjacent: absorb into iv
+        iv.begin = std::min(iv.begin, m.begin);
+        iv.end = std::max(iv.end, m.end);
+      }
+    }
+    out.push_back(iv);
+    std::sort(out.begin(), out.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+    members_ = std::move(out);
+  }
+
+  /// Total length covered within `iv`.
+  [[nodiscard]] Time measure_within(Interval iv) const {
+    Time total = 0.0;
+    for (const Interval& m : members_) total += m.intersect(iv).length();
+    return total;
+  }
+
+  /// Total length covered.
+  [[nodiscard]] Time measure() const {
+    Time total = 0.0;
+    for (const Interval& m : members_) total += m.length();
+    return total;
+  }
+
+  /// The parts of `iv` NOT covered by this set, in increasing order.
+  [[nodiscard]] std::vector<Interval> gaps_within(Interval iv) const {
+    std::vector<Interval> out;
+    Time cursor = iv.begin;
+    for (const Interval& m : members_) {
+      const Interval cut = m.intersect(iv);
+      if (cut.empty()) continue;
+      if (cursor < cut.begin) out.push_back({cursor, cut.begin});
+      cursor = std::max(cursor, cut.end);
+    }
+    if (cursor < iv.end) out.push_back({cursor, iv.end});
+    return out;
+  }
+
+  /// True iff `t` lies in some member (half-open test).
+  [[nodiscard]] bool contains(Time t) const {
+    for (const Interval& m : members_) {
+      if (m.contains(t)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::vector<Interval>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+ private:
+  std::vector<Interval> members_;
+};
+
+}  // namespace qbss

@@ -1,0 +1,37 @@
+// The speed-scaling power model P(s) = s^alpha, alpha > 1 (Section 1 of the
+// paper; alpha = 3 is the classical CMOS value).
+#pragma once
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/real.hpp"
+
+namespace qbss {
+
+/// Power model with a fixed exponent alpha > 1.
+class PowerModel {
+ public:
+  explicit PowerModel(double alpha) : alpha_(alpha) {
+    QBSS_EXPECTS(alpha > 1.0);
+  }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Instantaneous power at speed s >= 0.
+  [[nodiscard]] double power(Speed s) const {
+    QBSS_EXPECTS(s >= 0.0);
+    return std::pow(s, alpha_);
+  }
+
+  /// Energy of running at constant speed s for duration dt.
+  [[nodiscard]] Energy energy(Speed s, Time dt) const {
+    QBSS_EXPECTS(dt >= 0.0);
+    return power(s) * dt;
+  }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace qbss

@@ -1,0 +1,55 @@
+// Numeric foundation: time/work/speed aliases and tolerant comparisons.
+//
+// The whole library computes with `double`. Schedules are produced by
+// closed-form algebra (no time stepping), so errors stay near machine
+// epsilon; the tolerances below absorb the accumulated rounding of the
+// longest derivation chains (YDS peeling, EDF packing).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qbss {
+
+/// Point in time. Schedules live on the non-negative real line.
+using Time = double;
+/// Amount of work (CPU cycles, abstract units).
+using Work = double;
+/// Execution speed (work per unit time).
+using Speed = double;
+/// Energy (integral of speed^alpha over time).
+using Energy = double;
+
+/// Default absolute/relative tolerance for schedule invariants.
+inline constexpr double kEps = 1e-9;
+
+/// True iff |a - b| <= tol * max(1, |a|, |b|)  (mixed abs/rel comparison).
+[[nodiscard]] inline bool approx_eq(double a, double b,
+                                       double tol = kEps) noexcept {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+/// True iff a <= b up to tolerance.
+[[nodiscard]] inline bool approx_le(double a, double b,
+                                       double tol = kEps) noexcept {
+  return a <= b || approx_eq(a, b, tol);
+}
+
+/// True iff a >= b up to tolerance.
+[[nodiscard]] inline bool approx_ge(double a, double b,
+                                       double tol = kEps) noexcept {
+  return a >= b || approx_eq(a, b, tol);
+}
+
+/// True iff a < b by more than tolerance.
+[[nodiscard]] inline bool definitely_less(double a, double b,
+                                             double tol = kEps) noexcept {
+  return a < b && !approx_eq(a, b, tol);
+}
+
+/// Positive infinity shorthand.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace qbss

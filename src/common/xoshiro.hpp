@@ -1,0 +1,77 @@
+// Deterministic, seedable PRNG for workload generators.
+//
+// xoshiro256** (Blackman & Vigna, public domain reference algorithm),
+// re-implemented here so generated instances are bit-reproducible across
+// standard libraries (std::mt19937 distributions are not portable).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace qbss {
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via splitmix64 so any 64-bit seed gives a well-mixed state.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    QBSS_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) {
+    QBSS_EXPECTS(n > 0);
+    // Rejection-free Lemire-style bounded draw is overkill here; modulo
+    // bias is < 2^-53 for the n used by generators.
+    return (*this)() % n;
+  }
+
+  /// Bernoulli draw with probability p.
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace qbss

@@ -1,0 +1,43 @@
+// The file-compression scenario from the paper's introduction: executing a
+// job means transmitting/processing a file; the query is a compression
+// pass of cost proportional to the file size that may shrink the payload.
+#pragma once
+
+#include <cstdint>
+
+#include "qbss/qinstance.hpp"
+
+namespace qbss::gen {
+
+/// How well the corpus compresses.
+enum class CorpusKind {
+  kText,            ///< logs/source: big wins, w* ~ U[0.1, 0.4] w
+  kMedia,           ///< already-compressed blobs: w* ~ U[0.9, 1.0] w
+  kMixed,           ///< a blend: 60% text-like, 40% media-like
+  kIncompressible,  ///< worst case: w* = w
+};
+
+/// Parameters of the compression workload.
+struct CompressionConfig {
+  int files = 50;
+  CorpusKind corpus = CorpusKind::kMixed;
+  /// Compression-pass cost as a fraction of file size (the c_j = kappa w_j
+  /// rule; kappa < 1/phi makes the golden rule query everything, kappa >
+  /// 1/phi nothing — sweeping it exercises the decision boundary).
+  double pass_cost_fraction = 0.2;
+  /// Files share a transmit window (0, deadline].
+  double deadline = 16.0;
+  /// Log2 spread of file sizes around 1.0 (sizes in [2^-s, 2^s]).
+  double size_spread = 3.0;
+};
+
+/// Generates a common-release, common-deadline compression instance.
+[[nodiscard]] core::QInstance compression_instance(
+    const CompressionConfig& config, std::uint64_t seed);
+
+/// Online variant: files arrive over [0, horizon) with per-file windows.
+[[nodiscard]] core::QInstance compression_stream(
+    const CompressionConfig& config, double horizon, double window,
+    std::uint64_t seed);
+
+}  // namespace qbss::gen

@@ -1,0 +1,31 @@
+// Adversarial structured families: geometric nestings that stress the
+// online algorithms the way the lower-bound proofs do.
+#pragma once
+
+#include "qbss/qinstance.hpp"
+
+namespace qbss::gen {
+
+/// The geometric staggered-release family behind AVR's superexponential
+/// lower bound: n jobs share deadline 1; job k is released at 1 - q^k and
+/// carries work q^(k-1) - q^k, so the clairvoyant optimum runs at constant
+/// speed 1 while AVR's speed ramps up to ~ n (1 - q) near the deadline.
+/// Exact loads equal upper bounds with token queries (c = eps * w), so the
+/// QBSS expansion inherits the structure (E4's lower-bound probe).
+[[nodiscard]] core::QInstance geometric_release_family(int n, double q,
+                                                       double query_eps);
+
+/// Nested windows (1 - 2^-i, 1], i = 0..levels, all unit loads with
+/// incompressible exact loads — the Lemma 4.5 equal-window stressor
+/// (core::lemma45_nested_instance re-exported for generator users).
+[[nodiscard]] core::QInstance nested_family(int levels, double query_eps);
+
+/// The procrastination stressor for Optimal Available: n waves of work
+/// share the deadline 1 and arrive at 1 - q^k; OA spreads each wave over
+/// the whole remaining window, so every later wave finds OA behind and
+/// must ramp, approaching OA's alpha^alpha behaviour (classical lower-
+/// bound shape for OA, here with token queries so OAQ inherits it).
+[[nodiscard]] core::QInstance oa_adversarial_family(int n, double q,
+                                                    double query_eps);
+
+}  // namespace qbss::gen

@@ -1,0 +1,36 @@
+// The code-optimizer scenario from the paper's introduction (after Duerr
+// et al.): running a job means executing code; the query is an optimizer
+// pass that either slashes the runtime or achieves nothing — a bimodal
+// outcome, unlike compression's smooth factors.
+#pragma once
+
+#include <cstdint>
+
+#include "qbss/qinstance.hpp"
+
+namespace qbss::gen {
+
+/// Parameters of the code-optimization workload.
+struct OptimizerConfig {
+  int jobs = 50;
+  /// Probability the optimizer pass pays off.
+  double hit_probability = 0.5;
+  /// Runtime factor on a hit: w* = hit_factor * w.
+  double hit_factor = 0.15;
+  /// Optimizer pass cost as a fraction of the unoptimized runtime.
+  double pass_cost_fraction = 0.3;
+  /// Jobs arrive over [0, horizon) with window lengths in
+  /// [min_window, max_window].
+  double horizon = 20.0;
+  double min_window = 2.0;
+  double max_window = 8.0;
+  /// Unoptimized runtime range.
+  double w_min = 0.5;
+  double w_max = 6.0;
+};
+
+/// Generates an online code-optimizer instance.
+[[nodiscard]] core::QInstance optimizer_instance(const OptimizerConfig& config,
+                                                 std::uint64_t seed);
+
+}  // namespace qbss::gen

@@ -1,0 +1,49 @@
+// Random QBSS instance generators for the benchmark families of
+// DESIGN.md's experiment index (E1-E6). All generators are deterministic
+// given their seed (xoshiro256**, splitmix-seeded).
+#pragma once
+
+#include <cstdint>
+
+#include "qbss/qinstance.hpp"
+
+namespace qbss::gen {
+
+using core::QInstance;
+
+/// Knobs shared by the random families. Loads w are drawn uniformly from
+/// [w_min, w_max]; query costs as c = u * w with u uniform in
+/// [query_frac_min, query_frac_max]; exact loads as w* = v * w with v
+/// uniform in [compress_min, compress_max].
+struct LoadProfile {
+  double w_min = 0.5;
+  double w_max = 10.0;
+  double query_frac_min = 0.05;
+  double query_frac_max = 1.0;
+  double compress_min = 0.0;
+  double compress_max = 1.0;
+};
+
+/// E1: common release 0, common deadline `deadline`.
+[[nodiscard]] QInstance random_common_deadline(
+    int n, double deadline, std::uint64_t seed,
+    const LoadProfile& profile = {});
+
+/// E2: common release 0, deadlines drawn from {2^0, ..., 2^max_exponent}.
+[[nodiscard]] QInstance random_pow2_deadlines(
+    int n, int max_exponent, std::uint64_t seed,
+    const LoadProfile& profile = {});
+
+/// E3: common release 0, deadlines uniform in (0.5, horizon].
+[[nodiscard]] QInstance random_arbitrary_deadlines(
+    int n, double horizon, std::uint64_t seed,
+    const LoadProfile& profile = {});
+
+/// E4-E6: online instances — releases uniform in [0, horizon), window
+/// lengths uniform in [min_window, max_window].
+[[nodiscard]] QInstance random_online(int n, double horizon,
+                                      double min_window, double max_window,
+                                      std::uint64_t seed,
+                                      const LoadProfile& profile = {});
+
+}  // namespace qbss::gen

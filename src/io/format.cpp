@@ -1,0 +1,108 @@
+#include "io/format.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace qbss::io {
+
+namespace {
+
+/// Splits a data line into doubles; returns false on malformed input.
+bool parse_columns(const std::string& line, std::vector<double>& out) {
+  out.clear();
+  std::istringstream ss(line);
+  double v = 0.0;
+  while (ss >> v) out.push_back(v);
+  if (!ss.eof()) return false;  // trailing junk
+  return true;
+}
+
+/// Strips comments and whitespace; true iff something remains.
+bool data_line(std::string& line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return false;
+  line.erase(0, first);
+  return true;
+}
+
+template <typename T, typename AddFn>
+Parsed<T> read_rows(std::istream& in, std::size_t columns, AddFn add) {
+  T result;
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (!data_line(line)) continue;
+    std::vector<double> cols;
+    if (!parse_columns(line, cols) || cols.size() != columns) {
+      std::ostringstream msg;
+      msg << "expected " << columns << " numeric columns";
+      return {std::nullopt, {number, msg.str()}};
+    }
+    std::string error = add(result, cols);
+    if (!error.empty()) return {std::nullopt, {number, std::move(error)}};
+  }
+  return {std::move(result), {}};
+}
+
+}  // namespace
+
+Parsed<core::QInstance> read_qinstance(std::istream& in) {
+  return read_rows<core::QInstance>(
+      in, 5, [](core::QInstance& inst, const std::vector<double>& c) {
+        const core::QJob job{c[0], c[1], c[2], c[3], c[4]};
+        if (!job.valid()) {
+          return std::string(
+              "invalid job: need 0 <= r < d, 0 < c <= w, 0 <= w* <= w");
+        }
+        inst.add(c[0], c[1], c[2], c[3], c[4]);
+        return std::string();
+      });
+}
+
+Parsed<scheduling::Instance> read_instance(std::istream& in) {
+  return read_rows<scheduling::Instance>(
+      in, 3, [](scheduling::Instance& inst, const std::vector<double>& c) {
+        const scheduling::ClassicalJob job{c[0], c[1], c[2]};
+        if (!job.valid()) {
+          return std::string("invalid job: need 0 <= r < d, w >= 0");
+        }
+        inst.add(c[0], c[1], c[2]);
+        return std::string();
+      });
+}
+
+void write_qinstance(std::ostream& out, const core::QInstance& instance) {
+  out << "# release deadline query_cost upper_bound exact_load\n";
+  for (const core::QJob& j : instance.jobs()) {
+    out << j.release << ' ' << j.deadline << ' ' << j.query_cost << ' '
+        << j.upper_bound << ' ' << j.exact_load << '\n';
+  }
+}
+
+void write_instance(std::ostream& out, const scheduling::Instance& instance) {
+  out << "# release deadline work\n";
+  for (const scheduling::ClassicalJob& j : instance.jobs()) {
+    out << j.release << ' ' << j.deadline << ' ' << j.work << '\n';
+  }
+}
+
+void write_schedule(std::ostream& out, const scheduling::Schedule& schedule,
+                    double alpha) {
+  out << "# energy(alpha=" << alpha << ") = " << schedule.energy(alpha)
+      << "\n# max_speed = " << schedule.max_speed()
+      << "\n# job begin end speed\n";
+  for (std::size_t j = 0; j < schedule.job_count(); ++j) {
+    for (const Segment& p :
+         schedule.rate(static_cast<scheduling::JobId>(j)).pieces()) {
+      out << j << ' ' << p.span.begin << ' ' << p.span.end << ' ' << p.value
+          << '\n';
+    }
+  }
+}
+
+}  // namespace qbss::io

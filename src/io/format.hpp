@@ -1,0 +1,57 @@
+// Plain-text instance and schedule formats, for the CLI tools and for
+// shipping instances between runs.
+//
+// Instance format (one job per line, '#' comments, blank lines ignored):
+//
+//     # release deadline query_cost upper_bound exact_load
+//     0.0  4.0  0.5  3.0  1.0
+//     1.0  5.0  0.4  2.0  2.0
+//
+// Classical instances use three columns (release deadline work).
+// Schedules are written, not read: one rate piece per line
+// (job begin end speed), preceded by summary comments.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "qbss/qinstance.hpp"
+#include "scheduling/schedule.hpp"
+
+namespace qbss::io {
+
+/// Parse failure: offending line and message.
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+/// Either a value or a parse error.
+template <typename T>
+struct Parsed {
+  std::optional<T> value;
+  ParseError error;
+
+  explicit operator bool() const noexcept { return value.has_value(); }
+};
+
+/// Reads a QBSS instance (5 columns) from a stream.
+[[nodiscard]] Parsed<core::QInstance> read_qinstance(std::istream& in);
+
+/// Reads a classical instance (3 columns) from a stream.
+[[nodiscard]] Parsed<scheduling::Instance> read_instance(std::istream& in);
+
+/// Writes a QBSS instance in the 5-column format.
+void write_qinstance(std::ostream& out, const core::QInstance& instance);
+
+/// Writes a classical instance in the 3-column format.
+void write_instance(std::ostream& out,
+                    const scheduling::Instance& instance);
+
+/// Writes a fluid schedule: summary comments (energy at `alpha`, max
+/// speed), then one `job begin end speed` line per rate piece.
+void write_schedule(std::ostream& out, const scheduling::Schedule& schedule,
+                    double alpha);
+
+}  // namespace qbss::io

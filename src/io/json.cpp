@@ -1,0 +1,85 @@
+#include "io/json.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace qbss::io {
+
+namespace {
+
+/// Writes a double with round-trip precision.
+struct Num {
+  double v;
+};
+
+std::ostream& operator<<(std::ostream& out, Num n) {
+  const auto old = out.precision(std::numeric_limits<double>::max_digits10);
+  out << n.v;
+  out.precision(old);
+  return out;
+}
+
+void write_profile_body(std::ostream& out, const StepFunction& profile) {
+  out << "[";
+  bool first = true;
+  for (const Segment& p : profile.pieces()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"begin\":" << Num{p.span.begin} << ",\"end\":"
+        << Num{p.span.end} << ",\"value\":" << Num{p.value} << "}";
+  }
+  out << "]";
+}
+
+}  // namespace
+
+void write_json_instance(std::ostream& out, const core::QInstance& instance) {
+  out << "{\"jobs\":[";
+  bool first = true;
+  for (const core::QJob& j : instance.jobs()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"release\":" << Num{j.release} << ",\"deadline\":"
+        << Num{j.deadline} << ",\"query_cost\":" << Num{j.query_cost}
+        << ",\"upper_bound\":" << Num{j.upper_bound} << ",\"exact_load\":"
+        << Num{j.exact_load} << "}";
+  }
+  out << "]}\n";
+}
+
+void write_json_profile(std::ostream& out, const StepFunction& profile) {
+  out << "{\"pieces\":";
+  write_profile_body(out, profile);
+  out << "}\n";
+}
+
+void write_json_run(std::ostream& out, const core::QbssRun& run,
+                    double alpha) {
+  out << "{\"alpha\":" << Num{alpha} << ",\"feasible\":"
+      << (run.feasible ? "true" : "false") << ",\"energy\":"
+      << Num{run.energy(alpha)} << ",\"nominal_energy\":"
+      << Num{run.nominal_energy(alpha)} << ",\"max_speed\":"
+      << Num{run.max_speed()} << ",\"queried\":[";
+  for (std::size_t i = 0; i < run.expansion.queried.size(); ++i) {
+    if (i > 0) out << ",";
+    out << (run.expansion.queried[i] ? "true" : "false");
+  }
+  out << "],\"parts\":[";
+  for (std::size_t i = 0; i < run.expansion.classical.size(); ++i) {
+    if (i > 0) out << ",";
+    const auto& job =
+        run.expansion.classical.job(static_cast<scheduling::JobId>(i));
+    const auto& part = run.expansion.parts[i];
+    const char* kind = part.kind == core::PartKind::kQuery   ? "query"
+                       : part.kind == core::PartKind::kExact ? "exact"
+                                                             : "full";
+    out << "{\"source\":" << part.source << ",\"kind\":\"" << kind
+        << "\",\"release\":" << Num{job.release} << ",\"deadline\":"
+        << Num{job.deadline} << ",\"work\":" << Num{job.work} << "}";
+  }
+  out << "],\"speed\":";
+  write_profile_body(out, run.schedule.speed());
+  out << "}\n";
+}
+
+}  // namespace qbss::io

@@ -1,0 +1,24 @@
+// JSON export of instances, runs and profiles — for plotting pipelines
+// and downstream tooling. Hand-rolled writer (no dependencies); numbers
+// use max_digits10 so a round-trip through text is lossless.
+#pragma once
+
+#include <iosfwd>
+
+#include "qbss/run.hpp"
+
+namespace qbss::io {
+
+/// {"jobs": [{"release": .., "deadline": .., "query_cost": ..,
+///            "upper_bound": .., "exact_load": ..}, ...]}
+void write_json_instance(std::ostream& out, const core::QInstance& instance);
+
+/// {"pieces": [{"begin": .., "end": .., "value": ..}, ...]}
+void write_json_profile(std::ostream& out, const StepFunction& profile);
+
+/// Full run dump: decisions, per-part classical jobs, executed speed
+/// profile, energy at the given alpha, max speed, feasibility flag.
+void write_json_run(std::ostream& out, const core::QbssRun& run,
+                    double alpha);
+
+}  // namespace qbss::io

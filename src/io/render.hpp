@@ -1,0 +1,31 @@
+// ASCII rendering of speed profiles and schedules, for the CLI's --plot
+// flag, the examples, and quick eyeballing in tests.
+#pragma once
+
+#include <string>
+
+#include "common/piecewise.hpp"
+#include "scheduling/multi/machine_schedule.hpp"
+#include "scheduling/schedule.hpp"
+
+namespace qbss::io {
+
+/// A step function as a height-map chart: `height` rows of `width`
+/// columns, a '#' where the function reaches the row's level, axis labels
+/// on the left (speed) and bottom (time).
+[[nodiscard]] std::string render_profile(const StepFunction& profile,
+                                         int width = 64, int height = 8,
+                                         const std::string& title = "");
+
+/// A single-machine fluid schedule: one lane per job showing where it
+/// runs (shade by rate: '.' light, ':' medium, '#' heavy), then the
+/// aggregate speed chart.
+[[nodiscard]] std::string render_schedule(
+    const scheduling::Schedule& schedule, int width = 64);
+
+/// A parallel-machine schedule: one lane per machine, job ids as digits
+/// (mod 10) where each runs.
+[[nodiscard]] std::string render_machine_schedule(
+    const scheduling::MachineSchedule& schedule, int width = 64);
+
+}  // namespace qbss::io

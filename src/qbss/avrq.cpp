@@ -1,0 +1,17 @@
+#include "qbss/avrq.hpp"
+
+#include "scheduling/avr.hpp"
+
+namespace qbss::core {
+
+QbssRun avrq(const QInstance& instance) {
+  QbssRun run;
+  run.expansion =
+      expand(instance, QueryPolicy::always(), SplitPolicy::half());
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  run.feasible = true;  // AVR runs each part at its own density
+  return run;
+}
+
+}  // namespace qbss::core

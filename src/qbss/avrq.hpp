@@ -1,0 +1,17 @@
+// AVRQ (Section 5.1) — AVR with Queries.
+//
+// Queries every job at the midpoint split: job j becomes the classical
+// jobs (r_j, (r_j+d_j)/2, c_j) and ((r_j+d_j)/2, d_j, w*_j), and AVR runs
+// on the expansion. Guarantees: s_AVRQ(t) <= 2 s_AVR*(t) pointwise
+// (Theorem 5.2), hence 2^(2 alpha - 1) alpha^alpha-competitive for energy
+// (Corollary 5.3); at least (2 alpha)^alpha (Lemma 5.1).
+#pragma once
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// Runs AVRQ (online in spirit; see transform.hpp for the reveal rules).
+[[nodiscard]] QbssRun avrq(const QInstance& instance);
+
+}  // namespace qbss::core

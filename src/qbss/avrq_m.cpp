@@ -1,0 +1,16 @@
+#include "qbss/avrq_m.hpp"
+
+#include "scheduling/multi/avr_m.hpp"
+
+namespace qbss::core {
+
+QbssMultiRun avrq_m(const QInstance& instance, int machines) {
+  Expansion expansion =
+      expand(instance, QueryPolicy::always(), SplitPolicy::half());
+  scheduling::MachineSchedule schedule =
+      scheduling::avr_m(expansion.classical, machines);
+  return QbssMultiRun{std::move(expansion), std::move(schedule),
+                      /*feasible=*/true};
+}
+
+}  // namespace qbss::core

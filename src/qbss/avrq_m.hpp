@@ -1,0 +1,17 @@
+// AVRQ(m) (Section 6) — AVR(m) with Queries on m parallel machines.
+//
+// Queries every job at the midpoint split, then runs the multi-processor
+// AVR(m) of Albers et al. on the expansion. Guarantee: per machine,
+// s_i^AVRQ(m)(t) <= 2 s_i^AVR*(m)(t) (Theorem 6.3), hence
+// 2^alpha (2^(alpha-1) alpha^alpha + 1)-competitive for energy
+// (Corollary 6.4).
+#pragma once
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// Runs AVRQ(m) on `machines` parallel identical machines.
+[[nodiscard]] QbssMultiRun avrq_m(const QInstance& instance, int machines);
+
+}  // namespace qbss::core

@@ -1,0 +1,41 @@
+// AVRQ(m) without migration — the preemptive-non-migratory variant the
+// paper's conclusion points at (via Greiner, Nonner, Souza [21]).
+//
+// Every job is queried at the midpoint split as in AVRQ(m); the expansion
+// parts are then *pinned* to machines by an assignment rule and each
+// machine runs single-machine AVR on its own sub-instance. Because a
+// job's query and exact parts occupy disjoint time windows, pinning them
+// to different machines never executes the job in parallel, so the QBSS
+// model constraints hold for any rule.
+#pragma once
+
+#include "qbss/run.hpp"
+#include "scheduling/multi/nonmigratory.hpp"
+
+namespace qbss::core {
+
+/// A non-migratory QBSS run: decisions + the partitioned schedule.
+struct QbssPartitionedRun {
+  Expansion expansion;
+  scheduling::PartitionedSchedule schedule;
+
+  [[nodiscard]] Energy energy(double alpha) const {
+    return schedule.energy(alpha);
+  }
+  [[nodiscard]] Speed max_speed() const { return schedule.max_speed(); }
+};
+
+/// Runs the non-migratory AVRQ(m) twin: always-query, midpoint split,
+/// assignment by `rule`, AVR per machine.
+[[nodiscard]] QbssPartitionedRun avrq_m_nonmigratory(
+    const QInstance& instance, int machines,
+    scheduling::AssignmentRule rule =
+        scheduling::AssignmentRule::kLeastOverlap,
+    std::uint64_t seed = 0);
+
+/// Model validation: expansion soundness + per-machine schedule validity.
+[[nodiscard]] scheduling::ValidationReport validate_partitioned_run(
+    const QInstance& instance, const QbssPartitionedRun& run,
+    double tol = 1e-7);
+
+}  // namespace qbss::core

@@ -1,0 +1,17 @@
+#include "qbss/bkpq.hpp"
+
+#include "scheduling/bkp.hpp"
+
+namespace qbss::core {
+
+QbssRun bkpq(const QInstance& instance) {
+  QbssRun run;
+  run.expansion = expand(instance, QueryPolicy::golden(), SplitPolicy::half());
+  scheduling::OnlineRun inner = scheduling::bkp(run.expansion.classical);
+  run.schedule = std::move(inner.schedule);
+  run.nominal = std::move(inner.nominal);
+  run.feasible = inner.feasible;
+  return run;
+}
+
+}  // namespace qbss::core

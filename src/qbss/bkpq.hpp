@@ -1,0 +1,18 @@
+// BKPQ (Section 5.2) — BKP with Queries.
+//
+// Applies the golden-ratio query rule (query iff c_j <= w_j / phi) with a
+// midpoint split, then runs BKP on the expansion. Guarantees:
+// s_BKPQ(t) <= (2 + phi) s_BKP*(t) pointwise (Theorem 5.4), hence
+// (2+phi)^alpha * 2 (alpha/(alpha-1))^alpha e^alpha-competitive for energy
+// and (2+phi) e-competitive for maximum speed (Corollary 5.5).
+#pragma once
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// Runs BKPQ. `run.nominal` carries the BKP formula profile (the analyzed
+/// quantity); `run.schedule` the EDF execution against it.
+[[nodiscard]] QbssRun bkpq(const QInstance& instance);
+
+}  // namespace qbss::core

@@ -1,0 +1,20 @@
+#include "qbss/clairvoyant.hpp"
+
+#include "qbss/transform.hpp"
+#include "scheduling/yds.hpp"
+
+namespace qbss::core {
+
+scheduling::Schedule clairvoyant_schedule(const QInstance& instance) {
+  return scheduling::yds(clairvoyant_instance(instance));
+}
+
+Energy clairvoyant_energy(const QInstance& instance, double alpha) {
+  return clairvoyant_schedule(instance).energy(alpha);
+}
+
+Speed clairvoyant_max_speed(const QInstance& instance) {
+  return clairvoyant_schedule(instance).max_speed();
+}
+
+}  // namespace qbss::core

@@ -1,0 +1,22 @@
+// The clairvoyant (offline optimal) baseline every ratio is measured
+// against: with exact loads known, the QBSS optimum equals the YDS optimum
+// of the instance {(r_j, d_j, p*_j)} (Section 3).
+#pragma once
+
+#include "qbss/qinstance.hpp"
+#include "scheduling/schedule.hpp"
+
+namespace qbss::core {
+
+/// The optimal schedule a clairvoyant scheduler achieves.
+[[nodiscard]] scheduling::Schedule clairvoyant_schedule(
+    const QInstance& instance);
+
+/// Minimum possible energy for `instance` under exponent `alpha`.
+[[nodiscard]] Energy clairvoyant_energy(const QInstance& instance,
+                                        double alpha);
+
+/// Minimum possible maximum speed for `instance`.
+[[nodiscard]] Speed clairvoyant_max_speed(const QInstance& instance);
+
+}  // namespace qbss::core

@@ -1,0 +1,31 @@
+#include "qbss/crad.hpp"
+
+#include <cmath>
+
+#include "qbss/crp2d.hpp"
+
+namespace qbss::core {
+
+Time round_down_power_of_two(Time d) {
+  QBSS_EXPECTS(d > 0.0);
+  int exp = 0;
+  const double mantissa = std::frexp(d, &exp);  // d = mantissa * 2^exp
+  if (mantissa == 0.5) return d;                // exactly a power of two
+  return std::ldexp(1.0, exp - 1);
+}
+
+QInstance rounded_instance(const QInstance& instance) {
+  QInstance out;
+  for (const QJob& j : instance.jobs()) {
+    out.add(j.release, round_down_power_of_two(j.deadline), j.query_cost,
+            j.upper_bound, j.exact_load);
+  }
+  return out;
+}
+
+QbssRun crad(const QInstance& instance) {
+  QBSS_EXPECTS(instance.common_release());
+  return crp2d(rounded_instance(instance));
+}
+
+}  // namespace qbss::core

@@ -1,0 +1,25 @@
+// CRAD (Section 4.4) — Common Release, Arbitrary Deadlines.
+//
+// Rounds every deadline down to the nearest power of two and runs CRP2D on
+// the rounded instance; the resulting schedule only uses windows that
+// shrank, so it is feasible for the original instance. Guarantee
+// (Corollary 4.15): (8 phi)^alpha-approximate for energy.
+#pragma once
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// Largest power of two <= d (d > 0); integer exponents may be negative.
+[[nodiscard]] Time round_down_power_of_two(Time d);
+
+/// The deadline-rounded copy of `instance` that CRAD schedules.
+[[nodiscard]] QInstance rounded_instance(const QInstance& instance);
+
+/// Runs CRAD. Precondition: all releases are 0.
+/// The returned run's expansion windows refer to the *rounded* deadlines;
+/// validate_run accepts it against the original instance because every
+/// rounded window is contained in the original one.
+[[nodiscard]] QbssRun crad(const QInstance& instance);
+
+}  // namespace qbss::core

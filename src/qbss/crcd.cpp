@@ -1,0 +1,46 @@
+#include "qbss/crcd.hpp"
+
+#include "scheduling/avr.hpp"
+
+namespace qbss::core {
+
+QbssRun crcd(const QInstance& instance) {
+  QBSS_EXPECTS(instance.common_release());
+  QBSS_EXPECTS(instance.common_deadline());
+
+  const QueryPolicy golden = QueryPolicy::golden();
+  QbssRun run;
+  run.expansion.queried.resize(instance.size(), false);
+  RevealGate gate(instance);
+
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const JobId q = static_cast<JobId>(i);
+    const QJob& job = instance.job(q);
+    const Time d = job.deadline;
+    const Time mid = d / 2.0;
+    if (golden.should_query(job)) {
+      // B: query in (0, D/2], exact load in (D/2, D].
+      run.expansion.queried[i] = true;
+      run.expansion.classical.add(0.0, mid, job.query_cost);
+      run.expansion.parts.push_back({q, PartKind::kQuery});
+      gate.reveal(q);  // all queries complete by D/2
+      run.expansion.classical.add(mid, d, gate.exact_load(q));
+      run.expansion.parts.push_back({q, PartKind::kExact});
+    } else {
+      // A: half the upper bound in each half interval.
+      run.expansion.classical.add(0.0, mid, job.upper_bound / 2.0);
+      run.expansion.parts.push_back({q, PartKind::kFull});
+      run.expansion.classical.add(mid, d, job.upper_bound / 2.0);
+      run.expansion.parts.push_back({q, PartKind::kFull});
+    }
+  }
+
+  // Each half runs at the sum of part densities — exactly AVR on the
+  // expansion (lines 6 and 13 of Algorithm 1).
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  run.feasible = true;  // by construction; re-checked by validate_run
+  return run;
+}
+
+}  // namespace qbss::core

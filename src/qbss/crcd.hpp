@@ -1,0 +1,18 @@
+// CRCD (Algorithm 1) — Common Release, Common Deadline.
+//
+// Splits (0, D] in half. Queried jobs (golden-ratio rule, set B) run their
+// query in the first half and their revealed exact load in the second;
+// unqueried jobs (set A) run half their upper bound in each half. Each
+// half runs at the constant speed equal to the sum of part densities.
+// Guarantees (Theorem 4.6): 2-approximate for maximum speed and
+// min{2^(alpha-1) phi^alpha, 2^alpha}-approximate for energy.
+#pragma once
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// Runs CRCD. Preconditions: all releases are 0 and deadlines equal.
+[[nodiscard]] QbssRun crcd(const QInstance& instance);
+
+}  // namespace qbss::core

@@ -1,0 +1,22 @@
+// CRP2D (Algorithm 2) — Common Release, Power-of-two Deadlines.
+//
+// Queried jobs (set B) place their query as a classical job (0, d_j/2, c_j);
+// unqueried jobs (set A) become (0, d_j, w_j). YDS schedules that set
+// offline; the revealed exact load of every B-job with deadline 2^l is run
+// on top during (2^(l-1), 2^l] at its own density. Since deadlines are
+// powers of two, those top-up intervals are pairwise disjoint.
+// Guarantee (Theorem 4.13): (4 phi)^alpha-approximate for energy.
+#pragma once
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// True iff d equals 2^i for some integer i (possibly negative).
+[[nodiscard]] bool is_power_of_two(Time d);
+
+/// Runs CRP2D. Preconditions: all releases are 0 and every deadline is a
+/// power of two.
+[[nodiscard]] QbssRun crp2d(const QInstance& instance);
+
+}  // namespace qbss::core

@@ -1,0 +1,60 @@
+#include "qbss/forecast.hpp"
+
+#include <algorithm>
+
+#include "common/xoshiro.hpp"
+#include "scheduling/avr.hpp"
+
+namespace qbss::core {
+
+namespace {
+
+QbssRun run_with_decisions(const QInstance& instance,
+                           const std::vector<bool>& decisions) {
+  QbssRun run;
+  run.expansion =
+      expand_with_decisions(instance, decisions, SplitPolicy::half());
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  run.feasible = true;
+  return run;
+}
+
+}  // namespace
+
+QbssRun avr_with_forecast(const QInstance& instance,
+                          std::span<const Work> predictions) {
+  QBSS_EXPECTS(predictions.size() == instance.size());
+  std::vector<bool> decisions(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const QJob& job = instance.job(static_cast<JobId>(i));
+    const Work predicted =
+        std::clamp(predictions[i], 0.0, job.upper_bound);
+    decisions[i] = job.query_cost + predicted < job.upper_bound;
+  }
+  return run_with_decisions(instance, decisions);
+}
+
+QbssRun avr_with_decision_oracle(const QInstance& instance) {
+  std::vector<bool> decisions(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    decisions[i] = instance.job(static_cast<JobId>(i)).optimum_queries();
+  }
+  return run_with_decisions(instance, decisions);
+}
+
+std::vector<Work> noisy_predictions(const QInstance& instance, double noise,
+                                    std::uint64_t seed) {
+  QBSS_EXPECTS(noise >= 0.0);
+  Xoshiro256 rng(seed);
+  std::vector<Work> out;
+  out.reserve(instance.size());
+  for (const QJob& j : instance.jobs()) {
+    const Work raw =
+        j.exact_load + noise * j.upper_bound * rng.uniform(-1.0, 1.0);
+    out.push_back(std::clamp(raw, 0.0, j.upper_bound));
+  }
+  return out;
+}
+
+}  // namespace qbss::core

@@ -1,0 +1,40 @@
+// Forecast-driven ("learning-augmented") query policies.
+//
+// The paper's golden rule decides from c_j and w_j alone. In practice a
+// predictor often supplies an estimate of the hidden exact load (corpus
+// statistics for a compressor, profiling history for an optimizer).
+// These runners decide per job from the *predicted* total
+// c_j + predicted_j vs w_j — the clairvoyant rule applied to the
+// prediction — and let bench_forecast measure how performance degrades
+// from perfect predictions (decision oracle) through noisy ones down to
+// the prediction-free golden rule.
+//
+// The decision oracle uses the true w*_j for the DECISION ONLY; the split
+// and execution stay online (midpoint). It isolates how much of a QBSS
+// algorithm's loss comes from deciding vs from splitting.
+#pragma once
+
+#include <span>
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// AVR-based runner deciding per job: query iff c_j + predicted_j < w_j.
+/// predictions.size() must equal instance.size(); entries clamped to
+/// [0, w_j] before use.
+[[nodiscard]] QbssRun avr_with_forecast(const QInstance& instance,
+                                        std::span<const Work> predictions);
+
+/// The decision oracle: the clairvoyant decision (query iff
+/// c_j + w*_j < w_j), online midpoint execution via AVR.
+[[nodiscard]] QbssRun avr_with_decision_oracle(const QInstance& instance);
+
+/// Noisy predictions for benchmarking: predicted_j = w*_j +
+/// noise * w_j * U[-1, 1], clamped to [0, w_j]. noise = 0 reproduces the
+/// decision oracle's choices; noise >~ 1 is uninformative.
+[[nodiscard]] std::vector<Work> noisy_predictions(const QInstance& instance,
+                                                  double noise,
+                                                  std::uint64_t seed);
+
+}  // namespace qbss::core

@@ -1,0 +1,40 @@
+#include "qbss/generic.hpp"
+
+#include "scheduling/avr.hpp"
+#include "scheduling/bkp.hpp"
+#include "scheduling/oa.hpp"
+
+namespace qbss::core {
+
+QbssRun avr_with_policies(const QInstance& instance, QueryPolicy query,
+                          SplitPolicy split) {
+  QbssRun run;
+  run.expansion = expand(instance, query, split);
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  run.feasible = true;
+  return run;
+}
+
+QbssRun bkp_with_policies(const QInstance& instance, QueryPolicy query,
+                          SplitPolicy split) {
+  QbssRun run;
+  run.expansion = expand(instance, query, split);
+  scheduling::OnlineRun inner = scheduling::bkp(run.expansion.classical);
+  run.schedule = std::move(inner.schedule);
+  run.nominal = std::move(inner.nominal);
+  run.feasible = inner.feasible;
+  return run;
+}
+
+QbssRun oa_with_policies(const QInstance& instance, QueryPolicy query,
+                         SplitPolicy split) {
+  QbssRun run;
+  run.expansion = expand(instance, query, split);
+  run.schedule = scheduling::optimal_available(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  run.feasible = true;
+  return run;
+}
+
+}  // namespace qbss::core

@@ -1,0 +1,26 @@
+// Policy-parameterized QBSS algorithms — the ablation surface.
+//
+// AVRQ and BKPQ are fixed points in a 2-dimensional design space: which
+// jobs to query (threshold rule) and where to split the window (fraction).
+// These runners expose the whole space so bench_ablation_split and
+// bench_ablation_threshold can show why the paper picks (always, 1/2) and
+// (1/phi, 1/2).
+#pragma once
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// AVR on the (query, split)-expansion. avrq() == with (always, half).
+[[nodiscard]] QbssRun avr_with_policies(const QInstance& instance,
+                                        QueryPolicy query, SplitPolicy split);
+
+/// BKP on the (query, split)-expansion. bkpq() == with (golden, half).
+[[nodiscard]] QbssRun bkp_with_policies(const QInstance& instance,
+                                        QueryPolicy query, SplitPolicy split);
+
+/// OA on the (query, split)-expansion. oaq() == with (golden, half).
+[[nodiscard]] QbssRun oa_with_policies(const QInstance& instance,
+                                       QueryPolicy query, SplitPolicy split);
+
+}  // namespace qbss::core

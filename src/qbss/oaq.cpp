@@ -1,0 +1,16 @@
+#include "qbss/oaq.hpp"
+
+#include "scheduling/oa.hpp"
+
+namespace qbss::core {
+
+QbssRun oaq(const QInstance& instance) {
+  QbssRun run;
+  run.expansion = expand(instance, QueryPolicy::golden(), SplitPolicy::half());
+  run.schedule = scheduling::optimal_available(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  run.feasible = true;  // OA plans are YDS-feasible at every replan
+  return run;
+}
+
+}  // namespace qbss::core

@@ -1,0 +1,16 @@
+// OAQ — Optimal Available with Queries (extension).
+//
+// The paper's conclusion asks whether OA extends to the QBSS model. OAQ
+// answers constructively: golden-ratio query rule, midpoint split, OA on
+// the expansion (replanning the YDS optimum of remaining work at each
+// part release). bench/bench_oaq compares it against AVRQ and BKPQ.
+#pragma once
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// Runs OAQ (online: replans at expansion part releases only).
+[[nodiscard]] QbssRun oaq(const QInstance& instance);
+
+}  // namespace qbss::core

@@ -1,0 +1,41 @@
+#include "qbss/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qbss::core {
+
+SingleJobOutcome run_without_query(const QJob& job, double alpha) {
+  const Time len = job.window_length();
+  const Speed s = job.upper_bound / len;
+  return {s, len * std::pow(s, alpha)};
+}
+
+SingleJobOutcome run_with_query(const QJob& job, double x, double alpha) {
+  QBSS_EXPECTS(x > 0.0 && x < 1.0);
+  const Time len = job.window_length();
+  const Speed s_query = job.query_cost / (x * len);
+  const Speed s_exact = job.exact_load / ((1.0 - x) * len);
+  const Energy e = x * len * std::pow(s_query, alpha) +
+                   (1.0 - x) * len * std::pow(s_exact, alpha);
+  return {std::max(s_query, s_exact), e};
+}
+
+double oracle_split(const QJob& job) {
+  const Work total = job.query_cost + job.exact_load;
+  return job.query_cost / total;  // total >= c > 0
+}
+
+SingleJobOutcome run_with_oracle_split(const QJob& job, double alpha) {
+  const Time len = job.window_length();
+  const Speed s = (job.query_cost + job.exact_load) / len;
+  return {s, len * std::pow(s, alpha)};
+}
+
+SingleJobOutcome single_job_optimum(const QJob& job, double alpha) {
+  const Time len = job.window_length();
+  const Speed s = job.best_load() / len;
+  return {s, len * std::pow(s, alpha)};
+}
+
+}  // namespace qbss::core

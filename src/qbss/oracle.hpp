@@ -1,0 +1,42 @@
+// The oracle model of Section 4.1, for single-job instances.
+//
+// The oracle dictates the best splitting point once the algorithm decides
+// to query; the algorithm only chooses *whether* to query. Because the
+// power function is convex, the oracle split equalizes the query and
+// exact-work speeds, so the job runs at one constant speed. These helpers
+// compute outcomes of every (decision, split) combination in closed form —
+// the building blocks of the lower-bound adversaries.
+#pragma once
+
+#include "qbss/qjob.hpp"
+
+namespace qbss::core {
+
+/// Closed-form outcome of running a single job one way.
+struct SingleJobOutcome {
+  Speed max_speed = 0.0;
+  Energy energy = 0.0;
+};
+
+/// Executes w_j at constant speed over the whole window (no query).
+[[nodiscard]] SingleJobOutcome run_without_query(const QJob& job,
+                                                 double alpha);
+
+/// Queries with the split point at fraction x in (0, 1): the query runs at
+/// c / (x L), the exact load at w* / ((1-x) L), each at constant speed.
+[[nodiscard]] SingleJobOutcome run_with_query(const QJob& job, double x,
+                                              double alpha);
+
+/// The oracle's split fraction x* = c / (c + w*), which equalizes the two
+/// speeds (degenerates to 1 when w* = 0: the query fills the window).
+[[nodiscard]] double oracle_split(const QJob& job);
+
+/// Queries with the oracle split: constant speed (c + w*) / L throughout.
+[[nodiscard]] SingleJobOutcome run_with_oracle_split(const QJob& job,
+                                                     double alpha);
+
+/// The clairvoyant single-job optimum: constant speed p* / L.
+[[nodiscard]] SingleJobOutcome single_job_optimum(const QJob& job,
+                                                  double alpha);
+
+}  // namespace qbss::core

@@ -1,0 +1,64 @@
+// Query and splitting policies — the two decisions every QBSS algorithm
+// must take per job (Section 1: whether to query, and where to split the
+// window between query and exact work).
+#pragma once
+
+#include "common/constants.hpp"
+#include "qbss/qjob.hpp"
+
+namespace qbss::core {
+
+/// Threshold query rule: query job j iff c_j <= threshold * w_j.
+/// threshold = 1/phi is the golden-ratio rule of Lemma 3.1, which
+/// guarantees p_j <= phi * p*_j; threshold = 1 always queries (c <= w by
+/// the model); threshold = 0 never queries (c > 0 by the model).
+class QueryPolicy {
+ public:
+  /// Lemma 3.1's rule: query iff c_j <= w_j / phi.
+  [[nodiscard]] static QueryPolicy golden() {
+    return QueryPolicy{1.0 / kPhi};
+  }
+  /// Query every job (AVRQ, AVRQ(m)).
+  [[nodiscard]] static QueryPolicy always() { return QueryPolicy{1.0}; }
+  /// Query no job (the unboundedly bad baseline of Lemma 4.1).
+  [[nodiscard]] static QueryPolicy never() { return QueryPolicy{0.0}; }
+  /// Custom threshold in [0, 1] (ablation sweeps).
+  [[nodiscard]] static QueryPolicy threshold(double t) {
+    QBSS_EXPECTS(t >= 0.0 && t <= 1.0);
+    return QueryPolicy{t};
+  }
+
+  [[nodiscard]] bool should_query(const QJob& job) const noexcept {
+    return job.query_cost <= threshold_ * job.upper_bound;
+  }
+  [[nodiscard]] double threshold_value() const noexcept { return threshold_; }
+
+ private:
+  explicit QueryPolicy(double t) : threshold_(t) {}
+  double threshold_;
+};
+
+/// Fixed-fraction splitting rule: the query must finish by
+/// tau_j = r_j + fraction * (d_j - r_j); the exact work runs after tau_j.
+/// fraction = 1/2 is the equal-window rule used by every algorithm in the
+/// paper (motivated by Lemma 4.3: any other fixed split is worse on the
+/// single-job adversary).
+class SplitPolicy {
+ public:
+  [[nodiscard]] static SplitPolicy half() { return SplitPolicy{0.5}; }
+  [[nodiscard]] static SplitPolicy fraction(double x) {
+    QBSS_EXPECTS(x > 0.0 && x < 1.0);
+    return SplitPolicy{x};
+  }
+
+  [[nodiscard]] Time split_point(const QJob& job) const noexcept {
+    return job.release + fraction_ * job.window_length();
+  }
+  [[nodiscard]] double fraction_value() const noexcept { return fraction_; }
+
+ private:
+  explicit SplitPolicy(double x) : fraction_(x) {}
+  double fraction_;
+};
+
+}  // namespace qbss::core

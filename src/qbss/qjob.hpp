@@ -1,0 +1,52 @@
+// The QBSS job quintuple (r_j, d_j, c_j, w_j, w*_j) of Section 3.
+//
+// The exact load w*_j is *hidden information*: an algorithm may execute
+// the upper bound w_j directly, or first run a query of load c_j that
+// reveals w*_j, then execute w*_j. Algorithms access w*_j only through
+// RevealGate (qinstance.hpp), which enforces the information model.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/interval.hpp"
+#include "common/real.hpp"
+#include "scheduling/job.hpp"
+
+namespace qbss::core {
+
+using scheduling::JobId;
+
+/// One QBSS job. Invariants: 0 <= r < d, 0 < c <= w, 0 <= w* <= w.
+struct QJob {
+  Time release = 0.0;
+  Time deadline = 0.0;
+  Work query_cost = 0.0;   ///< c_j — extra load that reveals w*_j
+  Work upper_bound = 0.0;  ///< w_j — load executed when not querying
+  Work exact_load = 0.0;   ///< w*_j — hidden until the query completes
+
+  [[nodiscard]] Interval window() const noexcept {
+    return {release, deadline};
+  }
+  [[nodiscard]] Time window_length() const noexcept {
+    return deadline - release;
+  }
+
+  /// p*_j = min{w_j, c_j + w*_j}: the load the clairvoyant optimum runs.
+  [[nodiscard]] Work best_load() const noexcept {
+    return std::min(upper_bound, query_cost + exact_load);
+  }
+
+  /// True iff the clairvoyant optimum queries this job (strictly better).
+  [[nodiscard]] bool optimum_queries() const noexcept {
+    return query_cost + exact_load < upper_bound;
+  }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return release >= 0.0 && release < deadline && query_cost > 0.0 &&
+           query_cost <= upper_bound && exact_load >= 0.0 &&
+           exact_load <= upper_bound;
+  }
+
+  friend bool operator==(const QJob&, const QJob&) = default;
+};
+
+}  // namespace qbss::core

@@ -1,0 +1,55 @@
+#include "qbss/randomized.hpp"
+
+#include "common/xoshiro.hpp"
+#include "scheduling/avr.hpp"
+
+namespace qbss::core {
+
+QbssRun avrq_randomized(const QInstance& instance, double rho,
+                        std::uint64_t seed) {
+  QBSS_EXPECTS(rho >= 0.0 && rho <= 1.0);
+  Xoshiro256 rng(seed);
+  const SplitPolicy split = SplitPolicy::half();
+
+  QbssRun run;
+  run.expansion.queried.resize(instance.size(), false);
+  RevealGate gate(instance);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const JobId q = static_cast<JobId>(i);
+    const QJob& job = instance.job(q);
+    if (rng.chance(rho)) {
+      run.expansion.queried[i] = true;
+      const Time tau = split.split_point(job);
+      run.expansion.classical.add(job.release, tau, job.query_cost);
+      run.expansion.parts.push_back({q, PartKind::kQuery});
+      gate.reveal(q);
+      run.expansion.classical.add(tau, job.deadline, gate.exact_load(q));
+      run.expansion.parts.push_back({q, PartKind::kExact});
+    } else {
+      run.expansion.classical.add(job.release, job.deadline,
+                                  job.upper_bound);
+      run.expansion.parts.push_back({q, PartKind::kFull});
+    }
+  }
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  run.feasible = true;
+  return run;
+}
+
+RandomizedEstimate estimate_randomized(const QInstance& instance, double rho,
+                                       double alpha, int trials,
+                                       std::uint64_t seed) {
+  QBSS_EXPECTS(trials >= 1);
+  RandomizedEstimate out;
+  out.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    const QbssRun run =
+        avrq_randomized(instance, rho, seed + static_cast<std::uint64_t>(t));
+    out.mean_energy += run.energy(alpha) / trials;
+    out.mean_max_speed += run.max_speed() / trials;
+  }
+  return out;
+}
+
+}  // namespace qbss::core

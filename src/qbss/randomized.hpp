@@ -1,0 +1,32 @@
+// Randomized query policies (the Lemma 4.4 setting, executable).
+//
+// A randomized algorithm queries each job independently with probability
+// rho (seeded, reproducible). Lemma 4.4 proves no randomized algorithm
+// beats 4/3 (speed) or (1+phi^a)/2 (energy) even with an oracle split;
+// these runners let benches measure where simple mixing actually lands
+// between never-query and always-query on real workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "qbss/run.hpp"
+
+namespace qbss::core {
+
+/// Expands with independent per-job coin flips (probability rho of
+/// querying; midpoint split) and runs AVR on the expansion.
+[[nodiscard]] QbssRun avrq_randomized(const QInstance& instance, double rho,
+                                      std::uint64_t seed);
+
+/// Expected energy/max-speed of the randomized policy, estimated over
+/// `trials` independent coin-flip sequences.
+struct RandomizedEstimate {
+  double mean_energy = 0.0;
+  double mean_max_speed = 0.0;
+  int trials = 0;
+};
+[[nodiscard]] RandomizedEstimate estimate_randomized(
+    const QInstance& instance, double rho, double alpha, int trials,
+    std::uint64_t seed);
+
+}  // namespace qbss::core

@@ -1,0 +1,64 @@
+// The result of running a QBSS algorithm, plus the model-level validator.
+#pragma once
+
+#include "common/piecewise.hpp"
+#include "qbss/transform.hpp"
+#include "scheduling/multi/machine_schedule.hpp"
+#include "scheduling/schedule.hpp"
+
+namespace qbss::core {
+
+/// A single-machine QBSS run: the decisions taken (expansion) and the
+/// fluid schedule realizing them.
+struct QbssRun {
+  Expansion expansion;
+  /// Schedule over expansion.classical (rates indexed by classical part).
+  scheduling::Schedule schedule;
+  /// The speed profile the algorithm's analysis bounds. For CRCD / CRP2D /
+  /// CRAD / AVRQ this equals schedule.speed(); for BKPQ it is the BKP
+  /// formula profile (>= the executed speed pointwise).
+  StepFunction nominal;
+  /// True iff all work met its deadlines (always validated, never assumed).
+  bool feasible = false;
+
+  /// Energy actually consumed.
+  [[nodiscard]] Energy energy(double alpha) const {
+    return schedule.energy(alpha);
+  }
+  /// Energy of the analyzed profile (the competitive-analysis quantity).
+  [[nodiscard]] Energy nominal_energy(double alpha) const {
+    return nominal.power_integral(alpha);
+  }
+  [[nodiscard]] Speed max_speed() const { return schedule.max_speed(); }
+  [[nodiscard]] Speed nominal_max_speed() const {
+    return nominal.max_value();
+  }
+};
+
+/// A parallel-machines QBSS run (AVRQ(m)).
+struct QbssMultiRun {
+  Expansion expansion;
+  scheduling::MachineSchedule schedule;
+  bool feasible = false;
+
+  [[nodiscard]] Energy energy(double alpha) const {
+    return schedule.energy(alpha);
+  }
+  [[nodiscard]] Speed max_speed() const { return schedule.max_speed(); }
+};
+
+/// Full QBSS-model validation of a run:
+///  * the classical schedule is feasible for the expansion;
+///  * each expansion part stays within its QBSS job's window;
+///  * queried jobs execute exactly c_j strictly before their exact part's
+///    window, and exactly w*_j after; unqueried jobs execute exactly w_j;
+///  * a queried job's query part ends no later than its exact part begins
+///    (the split-point discipline — w* is only used after the query).
+[[nodiscard]] scheduling::ValidationReport validate_run(
+    const QInstance& instance, const QbssRun& run, double tol = 1e-7);
+
+/// Same checks for a parallel-machines run.
+[[nodiscard]] scheduling::ValidationReport validate_multi_run(
+    const QInstance& instance, const QbssMultiRun& run, double tol = 1e-7);
+
+}  // namespace qbss::core

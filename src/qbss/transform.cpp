@@ -1,0 +1,69 @@
+#include "qbss/transform.hpp"
+
+namespace qbss::core {
+
+Expansion expand_with_decisions(const QInstance& instance,
+                                const std::vector<bool>& decisions,
+                                SplitPolicy split) {
+  QBSS_EXPECTS(decisions.size() == instance.size());
+  Expansion out;
+  out.queried.resize(instance.size(), false);
+  RevealGate gate(instance);
+
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const JobId q = static_cast<JobId>(i);
+    const QJob& job = instance.job(q);
+    if (decisions[i]) {
+      out.queried[i] = true;
+      const Time tau = split.split_point(job);
+      out.classical.add(job.release, tau, job.query_cost);
+      out.parts.push_back({q, PartKind::kQuery});
+      // The query occupies (r, tau]; w* becomes known at tau.
+      gate.reveal(q);
+      out.classical.add(tau, job.deadline, gate.exact_load(q));
+      out.parts.push_back({q, PartKind::kExact});
+    } else {
+      out.classical.add(job.release, job.deadline, job.upper_bound);
+      out.parts.push_back({q, PartKind::kFull});
+    }
+  }
+  return out;
+}
+
+Expansion expand(const QInstance& instance, QueryPolicy query,
+                 SplitPolicy split) {
+  std::vector<bool> decisions(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    decisions[i] = query.should_query(instance.job(static_cast<JobId>(i)));
+  }
+  return expand_with_decisions(instance, decisions, split);
+}
+
+scheduling::Instance clairvoyant_instance(const QInstance& instance) {
+  scheduling::Instance out;
+  for (const QJob& j : instance.jobs()) {
+    out.add(j.release, j.deadline, j.best_load());
+  }
+  return out;
+}
+
+AnalysisInstances crp2d_analysis_instances(const QInstance& instance) {
+  const QueryPolicy golden = QueryPolicy::golden();
+  AnalysisInstances out;
+  for (const QJob& j : instance.jobs()) {
+    QBSS_EXPECTS(j.release == 0.0);
+    out.star.add(0.0, j.deadline, j.best_load());
+    if (golden.should_query(j)) {
+      out.prime.add(0.0, j.deadline, j.query_cost);
+      out.prime.add(0.0, j.deadline, j.exact_load);
+      out.half.add(0.0, j.deadline / 2.0, j.query_cost);
+      out.half.add(j.deadline / 2.0, j.deadline, j.exact_load);
+    } else {
+      out.prime.add(0.0, j.deadline, j.upper_bound);
+      out.half.add(0.0, j.deadline, j.upper_bound);
+    }
+  }
+  return out;
+}
+
+}  // namespace qbss::core

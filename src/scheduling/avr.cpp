@@ -1,0 +1,19 @@
+#include "scheduling/avr.hpp"
+
+namespace qbss::scheduling {
+
+Schedule avr(const Instance& instance) {
+  ScheduleBuilder builder(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const ClassicalJob& j = instance.jobs()[i];
+    if (j.work == 0.0) continue;
+    builder.add_rate(static_cast<JobId>(i), j.window(), j.density());
+  }
+  return std::move(builder).build();
+}
+
+StepFunction avr_profile(const Instance& instance) {
+  return avr(instance).speed();
+}
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,20 @@
+// AVR — the Average Rate online heuristic of Yao, Demers and Shenker.
+//
+// At every time t the machine runs at s(t) = sum of densities of the jobs
+// active at t, and each active job advances at exactly its own density.
+// AVR is 2^(alpha-1) * alpha^alpha competitive for alpha >= 2 (Yao et al.;
+// tightness by Bansal, Bunde, Chan, Pruhs).
+#pragma once
+
+#include "scheduling/schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// Runs AVR. Online in spirit: the rate of job j depends only on j, so the
+/// offline construction coincides with the online execution.
+[[nodiscard]] Schedule avr(const Instance& instance);
+
+/// Just the AVR speed profile s(t) = sum of active densities.
+[[nodiscard]] StepFunction avr_profile(const Instance& instance);
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,84 @@
+#include "scheduling/bkp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "scheduling/edf.hpp"
+
+namespace qbss::scheduling {
+
+StepFunction bkp_profile(const Instance& instance) {
+  if (instance.empty()) return {};
+
+  std::vector<Time> releases;
+  std::vector<Time> deadlines;
+  for (const ClassicalJob& j : instance.jobs()) {
+    releases.push_back(j.release);
+    deadlines.push_back(j.deadline);
+  }
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()),
+                 releases.end());
+  std::sort(deadlines.begin(), deadlines.end());
+  deadlines.erase(std::unique(deadlines.begin(), deadlines.end()),
+                  deadlines.end());
+
+  const std::vector<Time> grid = instance.event_times();
+
+  // Jobs sorted by release for suffix-sum accumulation per t2 candidate.
+  std::vector<std::size_t> by_release(instance.size());
+  for (std::size_t i = 0; i < instance.size(); ++i) by_release[i] = i;
+  std::sort(by_release.begin(), by_release.end(),
+            [&](std::size_t a, std::size_t b) {
+              return instance.jobs()[a].release < instance.jobs()[b].release;
+            });
+
+  StepFunction profile;
+  for (std::size_t g = 0; g + 1 < grid.size(); ++g) {
+    const Time a = grid[g];
+    const Time b = grid[g + 1];
+
+    // On (a, b] the arrived set and the admissible candidates are fixed:
+    // t1 must satisfy t1 < t for all t in the piece (t1 <= a), t2 must
+    // satisfy t <= t2 (t2 >= b).
+    double best = 0.0;
+    for (const Time t2 : deadlines) {
+      if (t2 < b) continue;
+      // work[k] = total work of arrived jobs with release >= release of the
+      // k-th by-release job and deadline <= t2, accumulated right-to-left.
+      Work suffix = 0.0;
+      // Walk releases descending; when passing a candidate t1 (a release
+      // value <= a), evaluate the intensity.
+      std::size_t r = by_release.size();
+      std::size_t rel_idx = releases.size();
+      while (rel_idx > 0) {
+        const Time t1 = releases[rel_idx - 1];
+        // Absorb all jobs with release >= t1 into the suffix.
+        while (r > 0 &&
+               instance.jobs()[by_release[r - 1]].release >= t1) {
+          const ClassicalJob& j = instance.jobs()[by_release[r - 1]];
+          if (j.release <= a && j.deadline <= t2) suffix += j.work;
+          --r;
+        }
+        if (t1 <= a && t2 > t1) {
+          best = std::max(best, suffix / (t2 - t1));
+        }
+        --rel_idx;
+      }
+    }
+    if (best > 0.0) profile.add_constant({a, b}, kE * best);
+  }
+  return profile;
+}
+
+OnlineRun bkp(const Instance& instance) {
+  OnlineRun run;
+  run.nominal = bkp_profile(instance);
+  EdfResult edf = edf_allocate(instance, run.nominal);
+  run.feasible = edf.feasible;
+  run.schedule = std::move(edf.schedule);
+  return run;
+}
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,115 @@
+#include "scheduling/discrete.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qbss::scheduling {
+
+namespace {
+
+/// The menu levels bracketing speed s: (lo, hi) with lo <= s <= hi.
+/// lo = 0 when s is below the lowest level. Returns false when s exceeds
+/// the top level.
+bool bracket(std::span<const Speed> levels, Speed s, Speed& lo, Speed& hi) {
+  const auto it = std::lower_bound(levels.begin(), levels.end(), s);
+  if (it == levels.end()) {
+    // Accept ulp-level overshoot of the top level.
+    if (s <= levels.back() * (1.0 + 1e-12)) {
+      lo = hi = levels.back();
+      return true;
+    }
+    return false;
+  }
+  hi = *it;
+  lo = (it == levels.begin()) ? 0.0 : *(it - 1);
+  if (s == hi) lo = hi;
+  return true;
+}
+
+}  // namespace
+
+DiscreteResult discretize(const Schedule& schedule,
+                          std::span<const Speed> levels) {
+  QBSS_EXPECTS(!levels.empty());
+  QBSS_EXPECTS(std::is_sorted(levels.begin(), levels.end()));
+  QBSS_EXPECTS(levels.front() > 0.0);
+
+  DiscreteResult out;
+  out.feasible = true;
+
+  ScheduleBuilder builder(schedule.job_count());
+
+  // Refined grid: every rate is constant within each cell (aggregate
+  // pieces are not enough — EDF can hand over between jobs at an interior
+  // point without changing the aggregate).
+  std::vector<Time> grid;
+  for (std::size_t j = 0; j < schedule.job_count(); ++j) {
+    for (const Time t : schedule.rate(static_cast<JobId>(j)).breakpoints()) {
+      grid.push_back(t);
+    }
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+
+  // Per cell: run the bracketing `hi` level first, `lo` after, with the
+  // switch chosen so hi*tau + lo*(len-tau) = s*len; every job keeps its
+  // share of the machine on both sides, so its cell work is exact and
+  // its window is respected (sub-cells are inside the cell).
+  for (std::size_t g = 0; g + 1 < grid.size(); ++g) {
+    const Interval cell{grid[g], grid[g + 1]};
+    const Time probe = cell.midpoint();
+    const Speed s = schedule.speed().value(probe);
+    if (s <= 0.0) continue;
+    Speed lo = 0.0;
+    Speed hi = 0.0;
+    if (!bracket(levels, s, lo, hi)) {
+      out.feasible = false;
+      return out;
+    }
+    const Time len = cell.length();
+    const Time tau = (hi == lo) ? len : len * (s - lo) / (hi - lo);
+    const Interval fast{cell.begin, cell.begin + tau};
+    const Interval slow{cell.begin + tau, cell.end};
+
+    for (std::size_t j = 0; j < schedule.job_count(); ++j) {
+      const JobId id = static_cast<JobId>(j);
+      const double rho = schedule.rate(id).value(probe);
+      if (rho <= 0.0) continue;
+      const double share = rho / s;
+      if (!fast.empty()) builder.add_rate(id, fast, share * hi);
+      if (!slow.empty() && lo > 0.0) builder.add_rate(id, slow, share * lo);
+    }
+  }
+  out.schedule = std::move(builder).build();
+  return out;
+}
+
+std::vector<Speed> geometric_menu(Speed top, double ratio, int count) {
+  QBSS_EXPECTS(top > 0.0 && ratio > 1.0 && count >= 1);
+  std::vector<Speed> levels(static_cast<std::size_t>(count));
+  Speed s = top;
+  for (int i = count - 1; i >= 0; --i) {
+    levels[static_cast<std::size_t>(i)] = s;
+    s /= ratio;
+  }
+  return levels;
+}
+
+double geometric_menu_penalty(double ratio, double alpha) {
+  QBSS_EXPECTS(ratio > 1.0 && alpha > 1.0);
+  // Speed s in [1, q] mixed from levels 1 and q: durations give mean
+  // power  P(s) = ( (q - s) * 1^a + (s - 1) * q^a ) / (q - 1).
+  // Penalty = max_s P(s) / s^a, found by a fine scan (unimodal).
+  double worst = 1.0;
+  constexpr int kGrid = 4096;
+  for (int i = 0; i <= kGrid; ++i) {
+    const double s = 1.0 + (ratio - 1.0) * i / kGrid;
+    const double mixed =
+        ((ratio - s) * 1.0 + (s - 1.0) * std::pow(ratio, alpha)) /
+        (ratio - 1.0);
+    worst = std::max(worst, mixed / std::pow(s, alpha));
+  }
+  return worst;
+}
+
+}  // namespace qbss::scheduling

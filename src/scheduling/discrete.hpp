@@ -1,0 +1,42 @@
+// Discrete speed levels (DVFS): real processors offer a finite frequency
+// menu, not a continuum. This module rounds any fluid schedule onto a
+// speed menu by the classical two-level mixing technique — each constant
+// piece at speed s is executed as a time-weighted mix of the two menu
+// speeds bracketing s, preserving per-job work and windows exactly — and
+// quantifies the energy penalty (bench_discrete sweeps menu sizes).
+//
+// Penalty bound: for a geometric menu with adjacent ratio q, the mixed
+// power on a piece is at most q^(alpha-1) times the continuous power
+// (linear interpolation of the convex power function between levels).
+#pragma once
+
+#include <span>
+
+#include "scheduling/schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// Result of rounding a schedule onto a speed menu.
+struct DiscreteResult {
+  /// False iff some required speed exceeds the top menu level.
+  bool feasible = false;
+  /// The rounded schedule (valid for the same instance when feasible).
+  Schedule schedule;
+};
+
+/// Rounds `schedule` onto the sorted-ascending `levels` (> 0; level 0 is
+/// implicit: the machine can always idle).
+[[nodiscard]] DiscreteResult discretize(const Schedule& schedule,
+                                        std::span<const Speed> levels);
+
+/// A geometric menu: `count` levels from `top / ratio^(count-1)` to
+/// `top`, ratio > 1 — the standard DVFS ladder shape.
+[[nodiscard]] std::vector<Speed> geometric_menu(Speed top, double ratio,
+                                                int count);
+
+/// Worst-case energy inflation of a geometric menu with adjacent ratio q
+/// under exponent alpha: max over s in [1, q] of the two-level mix power
+/// over s^alpha (closed form maximized numerically; <= q^(alpha-1)).
+[[nodiscard]] double geometric_menu_penalty(double ratio, double alpha);
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,42 @@
+// Classical speed-scaling job: the triple (r_j, d_j, w_j) of Yao, Demers
+// and Shenker. The QBSS layer reduces its quintuple jobs to sets of these.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/interval.hpp"
+#include "common/real.hpp"
+
+namespace qbss::scheduling {
+
+/// Index of a job within its Instance.
+using JobId = std::int32_t;
+
+/// A classical job: `work` units must execute within (release, deadline].
+struct ClassicalJob {
+  Time release = 0.0;
+  Time deadline = 0.0;
+  Work work = 0.0;
+
+  /// Active window (r, d].
+  [[nodiscard]] Interval window() const noexcept {
+    return {release, deadline};
+  }
+
+  /// Density delta_j = w_j / (d_j - r_j) — the constant speed that executes
+  /// the job exactly within its window.
+  [[nodiscard]] Speed density() const {
+    QBSS_EXPECTS(deadline > release);
+    return work / (deadline - release);
+  }
+
+  /// Validates the model constraints: non-negative times, r < d, w >= 0.
+  [[nodiscard]] bool valid() const noexcept {
+    return release >= 0.0 && release < deadline && work >= 0.0;
+  }
+
+  friend bool operator==(const ClassicalJob&, const ClassicalJob&) = default;
+};
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,71 @@
+#include "scheduling/multi/avr_m.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "scheduling/multi/mcnaughton.hpp"
+
+namespace qbss::scheduling {
+
+MachineSchedule avr_m(const Instance& instance, int machines) {
+  QBSS_EXPECTS(machines >= 1);
+  MachineSchedule schedule(machines);
+
+  const std::vector<Time> grid = instance.event_times();
+  for (std::size_t g = 0; g + 1 < grid.size(); ++g) {
+    const Interval slot{grid[g], grid[g + 1]};
+
+    // Active jobs, sorted by density descending (argmax pulls from front).
+    struct Active {
+      JobId id;
+      Speed density;
+    };
+    std::vector<Active> active;
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      const ClassicalJob& j = instance.jobs()[i];
+      if (j.work > 0.0 && j.release <= slot.begin &&
+          j.deadline >= slot.end) {
+        active.push_back({static_cast<JobId>(i), j.density()});
+      }
+    }
+    if (active.empty()) continue;
+    std::sort(active.begin(), active.end(),
+              [](const Active& a, const Active& b) {
+                return a.density > b.density;
+              });
+
+    Speed delta = 0.0;  // total density of unscheduled jobs
+    for (const Active& a : active) delta += a.density;
+
+    // Peel off big jobs onto dedicated machines (lowest index first).
+    std::size_t next = 0;
+    int machine = 0;
+    while (next < active.size() && machine < machines - 1 &&
+           active[next].density >
+               delta / static_cast<double>(machines - machine)) {
+      schedule.add({active[next].id, machine, slot, active[next].density});
+      delta -= active[next].density;
+      ++next;
+      ++machine;
+    }
+
+    // Remaining jobs are small: share machines [machine, machines) at the
+    // common speed sigma = delta / |R| via McNaughton.
+    const int pool = machines - machine;
+    if (next >= active.size() || delta <= 0.0) continue;
+    const Speed sigma = delta / static_cast<double>(pool);
+    std::vector<SlotDemand> demands;
+    demands.reserve(active.size() - next);
+    for (std::size_t i = next; i < active.size(); ++i) {
+      // Job i needs density * len of work at speed sigma.
+      demands.push_back(
+          {active[i].id, active[i].density * slot.length() / sigma});
+    }
+    for (const SlotPlacement& p : mcnaughton_pack(slot, demands, pool)) {
+      schedule.add({p.job, machine + p.machine, p.span, sigma});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,22 @@
+// AVR(m) — the multi-processor Average Rate algorithm of Albers,
+// Antoniadis and Greiner (JCSS 2015), (2^(alpha-1) alpha^alpha + 1)-
+// competitive with migration.
+//
+// Per elementary time slot (within which the active job set is constant):
+// repeatedly pull the highest-density job; if its density exceeds the
+// average density of the remaining jobs over the remaining machines it is
+// "big" and occupies the lowest-index free machine for the whole slot at
+// its own density; once no job is big, the "small" remainder shares the
+// remaining machines at the common average speed via McNaughton packing.
+// Machine speeds end up non-increasing in machine index.
+#pragma once
+
+#include "scheduling/multi/machine_schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// Runs AVR(m) on `machines` parallel machines. Online in spirit: slot
+/// decisions depend only on densities of currently active jobs.
+[[nodiscard]] MachineSchedule avr_m(const Instance& instance, int machines);
+
+}  // namespace qbss::scheduling

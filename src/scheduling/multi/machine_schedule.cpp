@@ -1,0 +1,80 @@
+#include "scheduling/multi/machine_schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qbss::scheduling {
+
+namespace {
+
+void fail(ValidationReport& report, std::string message) {
+  report.feasible = false;
+  report.errors.push_back(std::move(message));
+}
+
+/// Checks a set of intervals for pairwise overlap beyond `tol`.
+bool has_overlap(std::vector<Interval> spans, double tol) {
+  std::sort(spans.begin(), spans.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+    if (spans[i].end > spans[i + 1].begin + tol) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ValidationReport validate_multi(const Instance& instance,
+                                const MachineSchedule& schedule, double tol) {
+  ValidationReport report;
+
+  std::vector<std::vector<Interval>> per_machine(
+      static_cast<std::size_t>(schedule.machines()));
+  std::vector<std::vector<Interval>> per_job(instance.size());
+  std::vector<Work> done(instance.size(), 0.0);
+
+  for (const MachineSlice& s : schedule.slices()) {
+    if (s.job < 0 || static_cast<std::size_t>(s.job) >= instance.size()) {
+      fail(report, "slice references unknown job");
+      continue;
+    }
+    const ClassicalJob& job = instance.job(s.job);
+    if (!job.window().covers(s.span)) {
+      std::ostringstream msg;
+      msg << "job " << s.job << ": slice (" << s.span.begin << ", "
+          << s.span.end << "] outside window (" << job.release << ", "
+          << job.deadline << "]";
+      fail(report, msg.str());
+    }
+    per_machine[static_cast<std::size_t>(s.machine)].push_back(s.span);
+    per_job[static_cast<std::size_t>(s.job)].push_back(s.span);
+    done[static_cast<std::size_t>(s.job)] += s.span.length() * s.speed;
+  }
+
+  for (std::size_t mach = 0; mach < per_machine.size(); ++mach) {
+    if (has_overlap(per_machine[mach], tol)) {
+      std::ostringstream msg;
+      msg << "machine " << mach << ": overlapping slices";
+      fail(report, msg.str());
+    }
+  }
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    if (has_overlap(per_job[j], tol)) {
+      std::ostringstream msg;
+      msg << "job " << j << ": executed on two machines at once";
+      fail(report, msg.str());
+    }
+    if (!approx_eq(done[j], instance.jobs()[j].work, tol)) {
+      std::ostringstream msg;
+      msg << "job " << j << ": executed " << done[j] << " of "
+          << instance.jobs()[j].work;
+      fail(report, msg.str());
+    }
+  }
+
+  return report;
+}
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,85 @@
+// Multi-machine schedules on m parallel identical speed-scalable machines.
+//
+// Unlike the single-machine fluid representation, parallel machines need
+// explicit slices: the model forbids a job from running on two machines at
+// once (Section 3 of the paper), which a fluid per-machine rate could not
+// express. AVR(m)'s McNaughton packing produces slices naturally.
+#pragma once
+
+#include <vector>
+
+#include "common/piecewise.hpp"
+#include "common/power.hpp"
+#include "scheduling/instance.hpp"
+#include "scheduling/schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// Job `job` runs on `machine` at constant `speed` during `span`.
+struct MachineSlice {
+  JobId job = -1;
+  int machine = -1;
+  Interval span;
+  Speed speed = 0.0;
+};
+
+/// A schedule on m parallel machines, as a bag of validated slices.
+class MachineSchedule {
+ public:
+  explicit MachineSchedule(int machines) : machines_(machines) {
+    QBSS_EXPECTS(machines >= 1);
+  }
+
+  void add(MachineSlice slice) {
+    QBSS_EXPECTS(slice.machine >= 0 && slice.machine < machines_);
+    QBSS_EXPECTS(slice.speed >= 0.0);
+    if (slice.span.empty() || slice.speed == 0.0) return;
+    slices_.push_back(slice);
+  }
+
+  [[nodiscard]] int machines() const noexcept { return machines_; }
+  [[nodiscard]] const std::vector<MachineSlice>& slices() const noexcept {
+    return slices_;
+  }
+
+  /// Speed profile of one machine (sum of its slices; validation ensures
+  /// they never overlap, so the sum is the actual speed).
+  [[nodiscard]] StepFunction machine_profile(int machine) const {
+    std::vector<Segment> segs;
+    for (const MachineSlice& s : slices_) {
+      if (s.machine == machine) segs.push_back({s.span, s.speed});
+    }
+    return StepFunction::sum_of(segs);
+  }
+
+  /// Total energy across machines under P(s) = s^alpha.
+  [[nodiscard]] Energy energy(double alpha) const {
+    Energy total = 0.0;
+    for (int i = 0; i < machines_; ++i) {
+      total += machine_profile(i).power_integral(alpha);
+    }
+    return total;
+  }
+
+  /// Fastest speed used by any machine.
+  [[nodiscard]] Speed max_speed() const {
+    Speed s = 0.0;
+    for (const MachineSlice& sl : slices_) s = std::max(s, sl.speed);
+    return s;
+  }
+
+ private:
+  int machines_;
+  std::vector<MachineSlice> slices_;
+};
+
+/// Verifies the parallel-machine invariants:
+///  * slices on one machine never overlap in time;
+///  * slices of one job never overlap (no parallel execution of a job);
+///  * every slice lies inside its job's window;
+///  * every job receives exactly its workload.
+[[nodiscard]] ValidationReport validate_multi(const Instance& instance,
+                                              const MachineSchedule& schedule,
+                                              double tol = 1e-7);
+
+}  // namespace qbss::scheduling

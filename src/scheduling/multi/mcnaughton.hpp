@@ -1,0 +1,38 @@
+// McNaughton's wrap-around rule (1959) for one time slot.
+//
+// Given jobs that must each receive a prescribed amount of time within a
+// slot on identical machines running at a common speed, fill machine 0
+// from the slot start; on reaching the slot end, wrap to machine 1, etc.
+// No job runs on two machines at once provided no per-job time exceeds the
+// slot length — exactly AVR(m)'s "small jobs" situation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "scheduling/job.hpp"
+
+namespace qbss::scheduling {
+
+/// Time demand of one job within the slot.
+struct SlotDemand {
+  JobId job = -1;
+  Time duration = 0.0;  ///< must be <= slot length
+};
+
+/// One placement produced by the rule.
+struct SlotPlacement {
+  JobId job = -1;
+  int machine = -1;  ///< 0-based machine offset within the provided pool
+  Interval span;
+};
+
+/// Packs `demands` into `slot` on `machines` identical machines.
+/// Preconditions: every duration <= slot length; total duration <=
+/// machines * slot length (both up to kEps). Returns placements with
+/// machine offsets in [0, machines).
+[[nodiscard]] std::vector<SlotPlacement> mcnaughton_pack(
+    Interval slot, std::span<const SlotDemand> demands, int machines);
+
+}  // namespace qbss::scheduling

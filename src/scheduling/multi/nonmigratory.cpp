@@ -1,0 +1,167 @@
+#include "scheduling/multi/nonmigratory.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/xoshiro.hpp"
+#include "scheduling/avr.hpp"
+#include "scheduling/yds.hpp"
+
+namespace qbss::scheduling {
+
+namespace {
+
+/// Jobs in release order (ties by id) — the order an online scheduler
+/// sees them.
+std::vector<std::size_t> release_order(const Instance& instance) {
+  std::vector<std::size_t> order(instance.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return instance.jobs()[a].release <
+                            instance.jobs()[b].release;
+                   });
+  return order;
+}
+
+/// Total density of jobs already pinned to `machine` whose windows
+/// overlap `window` — the congestion the new job would join.
+double overlap_density(const Instance& instance,
+                       const std::vector<int>& machine_of,
+                       const std::vector<bool>& assigned, int machine,
+                       Interval window) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < machine_of.size(); ++j) {
+    if (!assigned[j] || machine_of[j] != machine) continue;
+    const ClassicalJob& job = instance.jobs()[j];
+    if (job.window().overlaps(window) && job.work > 0.0) {
+      total += job.density();
+    }
+  }
+  return total;
+}
+
+using SingleMachineAlgorithm = Schedule (*)(const Instance&);
+
+PartitionedSchedule run_partitioned(const Instance& instance, int machines,
+                                    AssignmentRule rule, std::uint64_t seed,
+                                    SingleMachineAlgorithm algorithm) {
+  Assignment assignment = assign_jobs(instance, machines, rule, seed);
+  PartitionedSchedule out(machines, assignment);
+  for (int machine = 0; machine < machines; ++machine) {
+    Instance sub;
+    std::vector<JobId> ids;
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      if (assignment.machine_of[j] == machine) {
+        const ClassicalJob& job = instance.jobs()[j];
+        sub.add(job.release, job.deadline, job.work);
+        ids.push_back(static_cast<JobId>(j));
+      }
+    }
+    out.set_machine(machine, std::move(ids),
+                    sub.empty() ? Schedule{} : algorithm(sub));
+  }
+  return out;
+}
+
+}  // namespace
+
+Assignment assign_jobs(const Instance& instance, int machines,
+                       AssignmentRule rule, std::uint64_t seed) {
+  QBSS_EXPECTS(machines >= 1);
+  Assignment out;
+  out.machine_of.assign(instance.size(), 0);
+  std::vector<bool> assigned(instance.size(), false);
+  Xoshiro256 rng(seed);
+
+  int round_robin = 0;
+  for (const std::size_t j : release_order(instance)) {
+    switch (rule) {
+      case AssignmentRule::kRoundRobin:
+        out.machine_of[j] = round_robin;
+        round_robin = (round_robin + 1) % machines;
+        break;
+      case AssignmentRule::kRandom:
+        out.machine_of[j] = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(machines)));
+        break;
+      case AssignmentRule::kLeastOverlap: {
+        int best = 0;
+        double best_density = kInf;
+        for (int machine = 0; machine < machines; ++machine) {
+          const double d = overlap_density(
+              instance, out.machine_of, assigned, machine,
+              instance.jobs()[j].window());
+          if (d < best_density) {
+            best_density = d;
+            best = machine;
+          }
+        }
+        out.machine_of[j] = best;
+        break;
+      }
+    }
+    assigned[j] = true;
+  }
+  return out;
+}
+
+PartitionedSchedule nonmigratory_yds(const Instance& instance, int machines,
+                                     AssignmentRule rule,
+                                     std::uint64_t seed) {
+  return run_partitioned(instance, machines, rule, seed, &yds);
+}
+
+PartitionedSchedule nonmigratory_avr(const Instance& instance, int machines,
+                                     AssignmentRule rule,
+                                     std::uint64_t seed) {
+  return run_partitioned(instance, machines, rule, seed, &avr);
+}
+
+ValidationReport validate_partitioned(const Instance& instance,
+                                      const PartitionedSchedule& schedule,
+                                      double tol) {
+  ValidationReport report;
+
+  if (schedule.assignment().machine_of.size() != instance.size()) {
+    report.feasible = false;
+    report.errors.push_back("assignment does not cover the instance");
+    return report;
+  }
+
+  std::vector<bool> seen(instance.size(), false);
+  for (int machine = 0; machine < schedule.machines(); ++machine) {
+    Instance sub;
+    for (const JobId id : schedule.jobs_of(machine)) {
+      const std::size_t j = static_cast<std::size_t>(id);
+      if (seen[j] || schedule.assignment().machine_of[j] != machine) {
+        report.feasible = false;
+        report.errors.push_back("job listed on the wrong machine");
+        continue;
+      }
+      seen[j] = true;
+      const ClassicalJob& job = instance.jobs()[j];
+      sub.add(job.release, job.deadline, job.work);
+    }
+    if (sub.empty()) continue;
+    const ValidationReport inner =
+        validate(sub, schedule.machine_schedule(machine), tol);
+    if (!inner.feasible) {
+      report.feasible = false;
+      std::ostringstream msg;
+      msg << "machine " << machine << ": "
+          << (inner.errors.empty() ? "invalid" : inner.errors.front());
+      report.errors.push_back(msg.str());
+    }
+  }
+  for (std::size_t j = 0; j < instance.size(); ++j) {
+    if (!seen[j] && instance.jobs()[j].work > 0.0) {
+      report.feasible = false;
+      report.errors.push_back("job never scheduled");
+    }
+  }
+  return report;
+}
+
+}  // namespace qbss::scheduling

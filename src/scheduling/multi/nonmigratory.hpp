@@ -1,0 +1,104 @@
+// Non-migratory parallel-machine scheduling.
+//
+// The paper's conclusion notes its approach "can directly be applied to
+// the preemptive-non-migratory variant" (Greiner, Nonner, Souza [21]):
+// each job is pinned to one machine; preemption stays, migration goes.
+// This module provides assignment rules (all online-implementable: they
+// look only at already-assigned jobs) and per-machine execution with any
+// single-machine algorithm, plus a validator. qbss/avrq_m uses these via
+// its non-migratory twin (qbss/avrq_m_nonmig).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scheduling/schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// How jobs are pinned to machines (in release order; ties by id).
+enum class AssignmentRule {
+  kRoundRobin,     ///< job i -> machine i mod m
+  kLeastOverlap,   ///< machine minimizing overlapping assigned density
+  kRandom,         ///< uniformly random (Greiner et al.'s rule), seeded
+};
+
+/// A job -> machine pinning.
+struct Assignment {
+  std::vector<int> machine_of;  ///< indexed by job id
+};
+
+/// Computes an assignment under `rule` (seed used by kRandom only).
+[[nodiscard]] Assignment assign_jobs(const Instance& instance, int machines,
+                                     AssignmentRule rule,
+                                     std::uint64_t seed = 0);
+
+/// A non-migratory schedule: one single-machine fluid schedule per
+/// machine, over that machine's sub-instance.
+class PartitionedSchedule {
+ public:
+  PartitionedSchedule(int machines, Assignment assignment)
+      : machines_(machines), assignment_(std::move(assignment)) {
+    QBSS_EXPECTS(machines >= 1);
+    per_machine_.resize(static_cast<std::size_t>(machines));
+    jobs_of_.resize(static_cast<std::size_t>(machines));
+  }
+
+  [[nodiscard]] int machines() const noexcept { return machines_; }
+  [[nodiscard]] const Assignment& assignment() const noexcept {
+    return assignment_;
+  }
+  /// Schedule of one machine (rates indexed by position in jobs_of()).
+  [[nodiscard]] const Schedule& machine_schedule(int machine) const {
+    return per_machine_[static_cast<std::size_t>(machine)];
+  }
+  /// Original job ids on one machine, in sub-instance order.
+  [[nodiscard]] const std::vector<JobId>& jobs_of(int machine) const {
+    return jobs_of_[static_cast<std::size_t>(machine)];
+  }
+
+  [[nodiscard]] Energy energy(double alpha) const {
+    Energy total = 0.0;
+    for (const Schedule& s : per_machine_) total += s.energy(alpha);
+    return total;
+  }
+  [[nodiscard]] Speed max_speed() const {
+    Speed s = 0.0;
+    for (const Schedule& sched : per_machine_) {
+      s = std::max(s, sched.max_speed());
+    }
+    return s;
+  }
+
+  void set_machine(int machine, std::vector<JobId> ids, Schedule schedule) {
+    jobs_of_[static_cast<std::size_t>(machine)] = std::move(ids);
+    per_machine_[static_cast<std::size_t>(machine)] = std::move(schedule);
+  }
+
+ private:
+  int machines_;
+  Assignment assignment_;
+  std::vector<Schedule> per_machine_;
+  std::vector<std::vector<JobId>> jobs_of_;
+};
+
+/// Pins jobs per `rule`, then runs YDS on each machine's sub-instance —
+/// the optimal execution *given* the assignment.
+[[nodiscard]] PartitionedSchedule nonmigratory_yds(const Instance& instance,
+                                                   int machines,
+                                                   AssignmentRule rule,
+                                                   std::uint64_t seed = 0);
+
+/// Pins jobs per `rule`, then runs AVR on each machine (fully online).
+[[nodiscard]] PartitionedSchedule nonmigratory_avr(const Instance& instance,
+                                                   int machines,
+                                                   AssignmentRule rule,
+                                                   std::uint64_t seed = 0);
+
+/// Verifies: assignment covers all jobs; each machine's schedule is a
+/// valid single-machine schedule for its sub-instance.
+[[nodiscard]] ValidationReport validate_partitioned(
+    const Instance& instance, const PartitionedSchedule& schedule,
+    double tol = 1e-7);
+
+}  // namespace qbss::scheduling

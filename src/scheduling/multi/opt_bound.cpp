@@ -1,0 +1,27 @@
+#include "scheduling/multi/opt_bound.hpp"
+
+#include <cmath>
+
+#include "scheduling/yds.hpp"
+
+namespace qbss::scheduling {
+
+Energy multi_opt_energy_lower_bound(const Instance& instance, int machines,
+                                    double alpha) {
+  QBSS_EXPECTS(machines >= 1);
+  return std::pow(static_cast<double>(machines), 1.0 - alpha) *
+         optimal_energy(instance, alpha);
+}
+
+Speed multi_opt_max_speed_lower_bound(const Instance& instance,
+                                      int machines) {
+  QBSS_EXPECTS(machines >= 1);
+  Speed densest = 0.0;
+  for (const ClassicalJob& j : instance.jobs()) {
+    if (j.work > 0.0) densest = std::max(densest, j.density());
+  }
+  return std::max(densest,
+                  optimal_max_speed(instance) / static_cast<double>(machines));
+}
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,28 @@
+// Lower bounds on the optimal m-machine schedule.
+//
+// The paper's AVRQ(m) analysis compares against the optimal migratory
+// schedule of Albers et al. [2]. For ratio *measurement* a provable lower
+// bound on OPT suffices (measured ratio against the bound upper-bounds the
+// true ratio, keeping "measured <= proven bound" sound). We use the
+// parallel-execution relaxation: allowing a job to run on several machines
+// simultaneously can only enlarge the feasible set, and by convexity its
+// optimum splits the single-machine YDS profile evenly across machines,
+// giving  OPT_relaxed = m^(1 - alpha) * E_YDS(single machine).
+#pragma once
+
+#include "scheduling/instance.hpp"
+#include "scheduling/schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// Energy lower bound: m^(1-alpha) * E_YDS (parallel-execution relaxation).
+[[nodiscard]] Energy multi_opt_energy_lower_bound(const Instance& instance,
+                                                  int machines, double alpha);
+
+/// Max-speed lower bound: max of (single-machine YDS max speed) / m (the
+/// relaxation) and the largest job density (a job cannot run on two
+/// machines at once, so some machine must reach its density).
+[[nodiscard]] Speed multi_opt_max_speed_lower_bound(const Instance& instance,
+                                                    int machines);
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,18 @@
+// OA — the Optimal Available online heuristic (Yao, Demers, Shenker 1995;
+// analyzed by Bansal, Kimbrel, Pruhs 2007: tight alpha^alpha competitive).
+//
+// Whenever a job arrives, OA recomputes the optimal (YDS) schedule for the
+// *remaining* work of all released jobs, assuming nothing else arrives, and
+// follows it until the next arrival. The paper's conclusion poses extending
+// OA to the QBSS model as an open question — src/qbss/oaq.cpp does exactly
+// that, on top of this implementation.
+#pragma once
+
+#include "scheduling/schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// Runs OA online (replanning at every distinct release time).
+[[nodiscard]] Schedule optimal_available(const Instance& instance);
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,63 @@
+#include "scheduling/schedule.hpp"
+
+#include <sstream>
+
+namespace qbss::scheduling {
+
+namespace {
+
+void fail(ValidationReport& report, std::string message) {
+  report.feasible = false;
+  report.errors.push_back(std::move(message));
+}
+
+}  // namespace
+
+ValidationReport validate(const Instance& instance, const Schedule& schedule,
+                          double tol) {
+  ValidationReport report;
+
+  if (schedule.job_count() != instance.size()) {
+    fail(report, "schedule job count does not match instance");
+    return report;
+  }
+
+  std::vector<Segment> all;
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const JobId id = static_cast<JobId>(i);
+    const ClassicalJob& job = instance.job(id);
+    const StepFunction& rate = schedule.rate(id);
+
+    for (const Segment& s : rate.pieces()) {
+      if (s.value < -tol) {
+        std::ostringstream msg;
+        msg << "job " << id << ": negative rate " << s.value;
+        fail(report, msg.str());
+      }
+      if (s.value > tol && !job.window().covers(s.span)) {
+        std::ostringstream msg;
+        msg << "job " << id << ": rate outside window (" << s.span.begin
+            << ", " << s.span.end << "] not in (" << job.release << ", "
+            << job.deadline << "]";
+        fail(report, msg.str());
+      }
+      all.push_back(s);
+    }
+
+    const Work done = rate.integral();
+    if (!approx_eq(done, job.work, tol)) {
+      std::ostringstream msg;
+      msg << "job " << id << ": executed " << done << " of " << job.work;
+      fail(report, msg.str());
+    }
+  }
+
+  const StepFunction total = StepFunction::sum_of(all);
+  if (!total.approx_equals(schedule.speed(), tol)) {
+    fail(report, "speed profile is not the sum of job rates");
+  }
+
+  return report;
+}
+
+}  // namespace qbss::scheduling

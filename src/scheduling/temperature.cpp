@@ -1,0 +1,55 @@
+#include "scheduling/temperature.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace qbss::scheduling {
+
+double steady_state_temperature(Speed s, double alpha, double cooling) {
+  QBSS_EXPECTS(s >= 0.0 && alpha > 1.0 && cooling > 0.0);
+  return std::pow(s, alpha) / cooling;
+}
+
+TemperatureTrace simulate_temperature(const StepFunction& profile,
+                                      double alpha, double cooling,
+                                      double initial) {
+  QBSS_EXPECTS(alpha > 1.0 && cooling > 0.0 && initial >= 0.0);
+
+  TemperatureTrace trace;
+  trace.max_temperature = initial;
+  trace.final_temperature = initial;
+  if (profile.pieces().empty()) return trace;
+
+  double temperature = initial;
+  Time now = profile.pieces().front().span.begin;
+  trace.max_at = now;
+
+  // Walk pieces in order, inserting exponential cooling across gaps.
+  for (const Segment& piece : profile.pieces()) {
+    if (piece.span.begin > now) {
+      // Idle gap: pure cooling; temperature only falls, no new maximum.
+      temperature *= std::exp(-cooling * (piece.span.begin - now));
+    }
+    now = piece.span.end;
+
+    const double steady =
+        steady_state_temperature(std::max(0.0, piece.value), alpha, cooling);
+    const double at_end =
+        steady + (temperature - steady) *
+                     std::exp(-cooling * piece.span.length());
+    // Within a piece, T is monotone (toward the steady state), so the
+    // piece maximum is at one of its ends.
+    const double piece_max = std::max(temperature, at_end);
+    if (piece_max > trace.max_temperature) {
+      trace.max_temperature = piece_max;
+      trace.max_at = at_end >= temperature ? piece.span.end
+                                           : piece.span.begin;
+    }
+    temperature = at_end;
+  }
+  trace.final_temperature = temperature;
+  return trace;
+}
+
+}  // namespace qbss::scheduling

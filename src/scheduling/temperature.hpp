@@ -1,0 +1,37 @@
+// Temperature simulation under Fourier's law — the companion objective of
+// the BKP substrate paper ("Speed scaling to manage energy and
+// temperature", Bansal-Kimbrel-Pruhs 2007).
+//
+// The device heats with dissipated power and cools proportionally to its
+// temperature:  T'(t) = P(s(t)) - b T(t),  b > 0 the cooling rate.
+// For a piecewise-constant speed profile the ODE solves in closed form on
+// each piece:  T(t) = P/b + (T0 - P/b) e^{-b (t - t0)},
+// so maximum temperature is exact (it occurs at a piece end or at the
+// steady state P/b). bench_temperature compares the algorithms on this
+// objective: energy-optimal YDS is not temperature-optimal, the effect
+// the BKP paper is about.
+#pragma once
+
+#include "common/piecewise.hpp"
+
+namespace qbss::scheduling {
+
+/// Temperature trace summary of a speed profile.
+struct TemperatureTrace {
+  double max_temperature = 0.0;
+  Time max_at = 0.0;           ///< when the maximum is attained
+  double final_temperature = 0.0;
+};
+
+/// Simulates T' = s^alpha - b T along `profile` (exact per-piece closed
+/// form), starting from `initial` at the profile's first breakpoint.
+/// Idle gaps cool exponentially.
+[[nodiscard]] TemperatureTrace simulate_temperature(
+    const StepFunction& profile, double alpha, double cooling,
+    double initial = 0.0);
+
+/// The steady-state temperature of running constantly at speed s.
+[[nodiscard]] double steady_state_temperature(Speed s, double alpha,
+                                              double cooling);
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,37 @@
+// YDS — the optimal offline speed-scaling algorithm of Yao, Demers and
+// Shenker (FOCS 1995).
+//
+// Repeatedly finds the *critical interval*: the interval I maximizing the
+// intensity g(I) = (total work of jobs whose window lies inside I) /
+// (available length of I), schedules those jobs inside I at speed g(I)
+// (EDF), marks I as used, and recurses on the rest. The resulting schedule
+// minimizes energy for every convex power function simultaneously, and its
+// maximum speed is the minimum feasible maximum speed.
+//
+// Implementation note: instead of "collapsing" the timeline after each
+// round (the textbook presentation), we stay in original time coordinates
+// and treat already-scheduled critical intervals as unavailable when
+// measuring candidate intensities. The two formulations select the same
+// critical intervals; see tests/test_yds.cpp for cross-checks against
+// brute-force optima.
+#pragma once
+
+#include "scheduling/schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// Computes the energy-optimal preemptive single-machine schedule.
+/// Precondition: instance jobs are valid (enforced by Instance).
+[[nodiscard]] Schedule yds(const Instance& instance);
+
+/// The optimal speed profile only (same cost as yds() today; kept separate
+/// because several callers — OA, CRP2D — need just the profile).
+[[nodiscard]] StepFunction yds_profile(const Instance& instance);
+
+/// Minimum energy for `instance` under exponent `alpha`.
+[[nodiscard]] Energy optimal_energy(const Instance& instance, double alpha);
+
+/// Minimum feasible maximum speed for `instance`.
+[[nodiscard]] Speed optimal_max_speed(const Instance& instance);
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,90 @@
+#include "scheduling/yds_common.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "scheduling/edf.hpp"
+
+namespace qbss::scheduling {
+
+namespace {
+
+/// The staircase profile via the concave-majorant hull of the cumulative
+/// work curve.
+StepFunction staircase(const Instance& instance, Time origin) {
+  // Sort jobs by deadline; accumulate work per distinct deadline.
+  std::vector<std::size_t> order(instance.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.jobs()[a].deadline < instance.jobs()[b].deadline;
+  });
+
+  struct Point {
+    Time t;   // deadline (relative to origin)
+    Work w;   // cumulative work through this deadline
+  };
+  std::vector<Point> points;
+  Work cumulative = 0.0;
+  for (const std::size_t j : order) {
+    const ClassicalJob& job = instance.jobs()[j];
+    cumulative += job.work;
+    const Time t = job.deadline - origin;
+    if (!points.empty() && points.back().t == t) {
+      points.back().w = cumulative;
+    } else {
+      points.push_back({t, cumulative});
+    }
+  }
+
+  // Upper (concave) hull from (0, 0): keep slopes strictly decreasing.
+  std::vector<Point> hull = {{0.0, 0.0}};
+  for (const Point& p : points) {
+    while (hull.size() >= 2) {
+      const Point& a = hull[hull.size() - 2];
+      const Point& b = hull.back();
+      const double slope_ab = (b.w - a.w) / (b.t - a.t);
+      const double slope_ap = (p.w - a.w) / (p.t - a.t);
+      if (slope_ap >= slope_ab) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    // Drop dominated points (smaller cumulative work at a later time
+    // cannot happen since cumulative is non-decreasing).
+    hull.push_back(p);
+  }
+
+  StepFunction profile;
+  for (std::size_t i = 0; i + 1 < hull.size(); ++i) {
+    const double slope =
+        (hull[i + 1].w - hull[i].w) / (hull[i + 1].t - hull[i].t);
+    if (slope > 0.0) {
+      profile.add_constant(
+          {origin + hull[i].t, origin + hull[i + 1].t}, slope);
+    }
+  }
+  return profile;
+}
+
+}  // namespace
+
+StepFunction yds_common_release_profile(const Instance& instance) {
+  if (instance.empty()) return {};
+  const Time origin = instance.jobs()[0].release;
+  for (const ClassicalJob& j : instance.jobs()) {
+    QBSS_EXPECTS(j.release == origin);
+  }
+  return staircase(instance, origin);
+}
+
+Schedule yds_common_release(const Instance& instance) {
+  if (instance.empty()) return {};
+  const EdfResult packed =
+      edf_allocate(instance, yds_common_release_profile(instance));
+  QBSS_ENSURES(packed.feasible);
+  return packed.schedule;
+}
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,24 @@
+// YDS specialized to common-release instances, in O(n log n).
+//
+// With all releases at 0, the optimal speed profile is the left-to-right
+// slope of the least concave majorant of the cumulative-work curve
+// {(d_k, W_k)}: critical intervals are prefixes, speeds form a
+// non-increasing staircase. CRP2D's inner YDS call is exactly this case;
+// the general yds() stays the reference implementation (they are
+// cross-checked in tests).
+#pragma once
+
+#include "scheduling/schedule.hpp"
+
+namespace qbss::scheduling {
+
+/// Optimal schedule for a common-release instance (all r_j equal).
+/// Precondition: instance.common_release() after shifting — releases must
+/// all equal the minimum release (which may be nonzero).
+[[nodiscard]] Schedule yds_common_release(const Instance& instance);
+
+/// Just the optimal profile (non-increasing staircase).
+[[nodiscard]] StepFunction yds_common_release_profile(
+    const Instance& instance);
+
+}  // namespace qbss::scheduling

@@ -1,0 +1,185 @@
+// Tests of the oracle model and the executable lower-bound adversaries:
+// each Lemma of Section 4.1 becomes a numeric game whose value must match
+// the paper's stated bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/ratio_harness.hpp"
+#include "common/constants.hpp"
+#include "qbss/adversary.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/oracle.hpp"
+
+namespace qbss::core {
+namespace {
+
+// ----- Oracle helpers ---------------------------------------------------
+
+TEST(Oracle, WithoutQueryRunsUpperBoundFlat) {
+  const QJob j{0.0, 2.0, 0.5, 3.0, 1.0};
+  const SingleJobOutcome o = run_without_query(j, 2.0);
+  EXPECT_DOUBLE_EQ(o.max_speed, 1.5);
+  EXPECT_DOUBLE_EQ(o.energy, 2.0 * 1.5 * 1.5);
+}
+
+TEST(Oracle, QuerySplitSpeeds) {
+  const QJob j{0.0, 1.0, 1.0, 2.0, 1.0};
+  const SingleJobOutcome o = run_with_query(j, 0.25, 3.0);
+  // Query: 1 over 0.25 -> speed 4; exact: 1 over 0.75 -> 4/3.
+  EXPECT_DOUBLE_EQ(o.max_speed, 4.0);
+  EXPECT_NEAR(o.energy, 0.25 * 64.0 + 0.75 * std::pow(4.0 / 3.0, 3.0),
+              1e-12);
+}
+
+TEST(Oracle, OracleSplitEqualizesSpeeds) {
+  const QJob j{0.0, 1.0, 1.0, 4.0, 3.0};
+  const double x = oracle_split(j);
+  EXPECT_DOUBLE_EQ(x, 0.25);
+  const SingleJobOutcome o = run_with_query(j, x, 2.0);
+  const SingleJobOutcome flat = run_with_oracle_split(j, 2.0);
+  EXPECT_NEAR(o.max_speed, flat.max_speed, 1e-12);
+  EXPECT_NEAR(o.energy, flat.energy, 1e-12);
+}
+
+TEST(Oracle, OracleSplitIsOptimalSplit) {
+  // Convexity: any other split costs at least as much energy and speed.
+  const QJob j{0.0, 1.0, 1.0, 4.0, 2.5};
+  const double best = oracle_split(j);
+  const SingleJobOutcome at_best = run_with_query(j, best, 2.5);
+  for (const double x : {0.1, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    const SingleJobOutcome o = run_with_query(j, x, 2.5);
+    EXPECT_GE(o.energy + 1e-12, at_best.energy) << "x=" << x;
+    EXPECT_GE(o.max_speed + 1e-12, at_best.max_speed) << "x=" << x;
+  }
+}
+
+TEST(Oracle, SingleJobOptimumPicksCheaperOption) {
+  const QJob cheap{0.0, 1.0, 0.1, 2.0, 0.2};  // query wins: 0.3 < 2
+  EXPECT_DOUBLE_EQ(single_job_optimum(cheap, 2.0).max_speed, 0.3);
+  const QJob dear{0.0, 1.0, 1.8, 2.0, 1.5};  // skip wins: 2 < 3.3
+  EXPECT_DOUBLE_EQ(single_job_optimum(dear, 2.0).max_speed, 2.0);
+}
+
+// ----- Lemma 4.1 --------------------------------------------------------
+
+class Lemma41 : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma41, NeverQueryDivergesAsEpsShrinks) {
+  const double alpha = GetParam();
+  double prev_energy = 0.0;
+  for (const double eps : {0.1, 0.01, 0.001}) {
+    const RatioPair r = lemma41_never_query_ratio(eps, alpha);
+    EXPECT_NEAR(r.speed, 1.0 / (2.0 * eps), 1e-9);
+    EXPECT_NEAR(r.energy, std::pow(1.0 / (2.0 * eps), alpha), 1e-6);
+    EXPECT_GT(r.energy, prev_energy);
+    prev_energy = r.energy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, Lemma41,
+                         ::testing::Values(1.5, 2.0, 3.0));
+
+// ----- Lemma 4.2 --------------------------------------------------------
+
+class Lemma42 : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma42, GameValueIsPhi) {
+  const double alpha = GetParam();
+  const RatioPair v = lemma42_game_value(alpha);
+  EXPECT_NEAR(v.speed, kPhi, 1e-9);
+  EXPECT_NEAR(v.energy, std::pow(kPhi, alpha), 1e-9);
+  // Both pure strategies are exactly phi — the instance equalizes them.
+  EXPECT_NEAR(lemma42_ratio_if_query(alpha).speed, kPhi, 1e-9);
+  EXPECT_NEAR(lemma42_ratio_if_skip(alpha).speed, kPhi, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, Lemma42,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0));
+
+// ----- Lemma 4.3 --------------------------------------------------------
+
+class Lemma43 : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma43, NoCommitmentBeatsTwoAnd2PowAlphaMinus1) {
+  const double alpha = GetParam();
+  const RatioPair v = lemma43_game_value(alpha);
+  EXPECT_GE(v.speed, 2.0 - 1e-6);
+  EXPECT_GE(v.energy, std::pow(2.0, alpha - 1.0) - 1e-6);
+}
+
+TEST_P(Lemma43, SkippingCostsFactorTwo) {
+  const double alpha = GetParam();
+  const RatioPair r = lemma43_adversary_response(false, 0.5, alpha);
+  EXPECT_NEAR(r.speed, 2.0, 1e-9);
+  EXPECT_NEAR(r.energy, std::pow(2.0, alpha), 1e-9);
+}
+
+TEST_P(Lemma43, EarlySplitPunishedByZeroLoad) {
+  const double alpha = GetParam();
+  // x <= 1/2: adversary sets w* = 0, energy ratio x^(1-alpha).
+  const RatioPair r = lemma43_adversary_response(true, 0.25, alpha);
+  EXPECT_NEAR(r.speed, 4.0, 1e-9);  // s1/s* = 1/(x)
+  EXPECT_GE(r.energy, std::pow(0.25, 1.0 - alpha) - 1e-9);
+}
+
+TEST_P(Lemma43, LateSplitPunishedByFullLoad) {
+  const double alpha = GetParam();
+  // x >= 1/2: adversary sets w* = w, speed ratio >= 1/(1-x).
+  const RatioPair r = lemma43_adversary_response(true, 0.75, alpha);
+  EXPECT_GE(r.speed, 2.0 - 1e-9);
+  EXPECT_GE(r.energy, std::pow(1.0 - 0.75, 1.0 - alpha) / 2.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, Lemma43,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0));
+
+// ----- Lemma 4.4 --------------------------------------------------------
+
+TEST(Lemma44, SpeedGameValueIsFourThirds) {
+  EXPECT_NEAR(lemma44_speed_game_value(), 4.0 / 3.0, 1e-3);
+  // The optimal mixing probability is rho = 2/3.
+  EXPECT_NEAR(lemma44_speed_ratio(2.0 / 3.0), 4.0 / 3.0, 1e-9);
+  // Pure strategies are strictly worse.
+  EXPECT_GT(lemma44_speed_ratio(0.0), 4.0 / 3.0 + 0.1);
+  EXPECT_GT(lemma44_speed_ratio(1.0), 4.0 / 3.0 + 0.1);
+}
+
+class Lemma44Energy : public ::testing::TestWithParam<double> {};
+
+TEST_P(Lemma44Energy, EnergyGameValueMatchesFormula) {
+  const double alpha = GetParam();
+  const double expected = 0.5 * (1.0 + std::pow(kPhi, alpha));
+  EXPECT_NEAR(lemma44_energy_game_value(alpha), expected,
+              1e-3 * expected);
+  EXPECT_NEAR(lemma44_energy_ratio(0.5, alpha), expected, 1e-9);
+  EXPECT_NEAR(analysis::randomized_energy_lower(alpha), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, Lemma44Energy,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0));
+
+// ----- Lemma 4.5 --------------------------------------------------------
+
+TEST(Lemma45, NestedInstanceForcesFactorThreeOnEqualWindow) {
+  // One nesting level and incompressible loads: AVRQ (the equal-window
+  // algorithm) pays max speed ~3x the clairvoyant optimum.
+  const QInstance inst = lemma45_nested_instance(1, 1e-9);
+  const analysis::Measurement m = analysis::measure(inst, avrq, 2.0);
+  ASSERT_TRUE(m.feasible);
+  EXPECT_NEAR(m.speed_ratio, 3.0, 1e-6);
+}
+
+TEST(Lemma45, DeeperNestingsExceedThree) {
+  const analysis::Measurement shallow =
+      analysis::measure(lemma45_nested_instance(1, 1e-9), avrq, 2.0);
+  const analysis::Measurement deep =
+      analysis::measure(lemma45_nested_instance(4, 1e-9), avrq, 2.0);
+  EXPECT_GT(deep.speed_ratio, shallow.speed_ratio);
+  EXPECT_GE(deep.speed_ratio, analysis::equal_window_speed_lower());
+}
+
+}  // namespace
+}  // namespace qbss::core

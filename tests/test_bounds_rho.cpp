@@ -1,0 +1,147 @@
+// Tests of the closed-form bound formulas and the Section 4.2 rho table —
+// including a digit-for-digit check against the values printed in the
+// paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/rho.hpp"
+#include "common/constants.hpp"
+
+namespace qbss::analysis {
+namespace {
+
+TEST(Bounds, ClassicalFormulas) {
+  EXPECT_NEAR(avr_energy_upper(2.0), 8.0, 1e-12);          // 2 * 4
+  EXPECT_NEAR(avr_energy_upper(3.0), 108.0, 1e-12);        // 4 * 27
+  EXPECT_NEAR(oa_energy_upper(2.0), 4.0, 1e-12);
+  EXPECT_NEAR(oa_energy_upper(3.0), 27.0, 1e-12);
+  EXPECT_NEAR(avr_m_energy_upper(3.0), 109.0, 1e-12);
+  EXPECT_NEAR(bkp_speed_upper(), kE, 1e-15);
+  EXPECT_NEAR(bkp_energy_upper(2.0), 2.0 * 4.0 * kE * kE, 1e-9);
+}
+
+TEST(Bounds, Table1OfflineRows) {
+  const double a = 2.0;
+  EXPECT_NEAR(oracle_energy_lower(a), kPhi * kPhi, 1e-12);
+  EXPECT_NEAR(oracle_speed_lower(), kPhi, 1e-15);
+  EXPECT_NEAR(offline_energy_lower(a), std::max(kPhi * kPhi, 2.0), 1e-12);
+  EXPECT_NEAR(offline_speed_lower(), 2.0, 1e-15);
+  EXPECT_NEAR(crcd_speed_upper(), 2.0, 1e-15);
+  EXPECT_NEAR(crcd_energy_upper(a), 4.0, 1e-12);  // min(2 phi^2, 4) = 4
+  EXPECT_NEAR(crp2d_energy_upper(a), std::pow(4.0 * kPhi, 2.0), 1e-9);
+  EXPECT_NEAR(crad_energy_upper(a), std::pow(8.0 * kPhi, 2.0), 1e-9);
+}
+
+TEST(Bounds, Table1OnlineRows) {
+  const double a = 3.0;
+  EXPECT_NEAR(avrq_energy_upper(a), 8.0 * 108.0, 1e-9);
+  EXPECT_NEAR(avrq_energy_lower(a), 216.0, 1e-9);  // (2*3)^3
+  EXPECT_NEAR(bkpq_speed_upper(), (2.0 + kPhi) * kE, 1e-12);
+  EXPECT_NEAR(bkpq_energy_lower(a), 9.0, 1e-12);  // 3^2
+  EXPECT_NEAR(bkpq_energy_upper(a),
+              std::pow(2.0 + kPhi, 3.0) * bkp_energy_upper(3.0), 1e-6);
+  EXPECT_NEAR(avrq_m_energy_upper(a), 8.0 * 109.0, 1e-9);
+}
+
+TEST(Bounds, LowerBoundsBelowUpperBounds) {
+  for (const double a : {1.5, 2.0, 2.5, 3.0, 4.0}) {
+    EXPECT_LT(offline_energy_lower(a), crcd_energy_upper(a));
+    EXPECT_LT(avrq_energy_lower(a), avrq_energy_upper(a));
+    EXPECT_LT(bkpq_energy_lower(a), bkpq_energy_upper(a));
+    EXPECT_LT(avrq_m_energy_lower(a), avrq_m_energy_upper(a));
+    EXPECT_LT(oracle_energy_lower(a), offline_energy_lower(a) + 1e-9);
+  }
+}
+
+TEST(Bounds, GoldenRuleFactorIsPhi) {
+  EXPECT_DOUBLE_EQ(golden_rule_load_factor(), kPhi);
+}
+
+// ----- rho table --------------------------------------------------------
+
+TEST(Rho, FormulasAtAlphaTwo) {
+  EXPECT_NEAR(rho1(2.0), 2.0 * kPhi * kPhi, 1e-12);
+  EXPECT_NEAR(rho2(2.0), 4.0, 1e-12);
+  EXPECT_NEAR(rho3_f1(2.0, 1.0), 4.0, 1e-12);
+  // f2(1) = 2 phi^2 (1 - 2/4) = phi^2.
+  EXPECT_NEAR(rho3_f2(2.0, 1.0), kPhi * kPhi, 1e-12);
+}
+
+// The paper's table (Section 4.2), quoted to the printed 2 decimals:
+//   alpha: 1.25  1.5  1.75  2     2.25  2.5   2.75  3
+//   rho1 : 2.17  2.91 3.90  5.23  7.02  9.41  12.63 16.94
+//   rho2 : 2.37  2.82 3.36  4     4.75  5.65  6.72  8
+//   rho3 : -     -    -     2.76  3.70  5.25  6.72  8
+TEST(Rho, TableMatchesPaperRho1) {
+  const double expected[] = {2.17, 2.91, 3.90, 5.23, 7.02, 9.41, 12.63, 16.94};
+  const auto alphas = rho_table_alphas();
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    EXPECT_NEAR(rho1(alphas[i]), expected[i], 0.01) << "alpha " << alphas[i];
+  }
+}
+
+TEST(Rho, TableMatchesPaperRho2) {
+  const double expected[] = {2.37, 2.82, 3.36, 4.0, 4.75, 5.65, 6.72, 8.0};
+  const auto alphas = rho_table_alphas();
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    EXPECT_NEAR(rho2(alphas[i]), expected[i], 0.01) << "alpha " << alphas[i];
+  }
+}
+
+TEST(Rho, TableMatchesPaperRho3) {
+  // Paper prints rho3 only for alpha >= 2: 2.76, 3.70, 5.25, 6.72, 8.
+  // (Note: at alpha=2.5 the paper prints 5.25 although rho3 <= rho1 would
+  // allow less; we reproduce the maximin definition faithfully and compare
+  // within the printing tolerance.)
+  const double expected[] = {2.76, 3.70, 5.25, 6.72, 8.0};
+  const double alphas[] = {2.0, 2.25, 2.5, 2.75, 3.0};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(rho3(alphas[i]), expected[i], 0.02) << "alpha " << alphas[i];
+  }
+}
+
+TEST(Rho, Rho3NeverExceedsRho1OrRho2ForLargeAlpha) {
+  // Theorem 4.8's refinement: for alpha >= 2, rho3 <= min(rho1, rho2)
+  // would make it always preferable; the paper instead reports rho3 as
+  // the best for alpha >= 2 — check it is at least never above rho2
+  // beyond printing noise at the crossover alpha = 3.
+  for (const double a : {2.0, 2.25, 2.5, 2.75, 3.0}) {
+    EXPECT_LE(rho3(a), rho2(a) + 1e-6) << "alpha " << a;
+    EXPECT_LE(rho3(a), rho1(a) + 1e-6) << "alpha " << a;
+  }
+}
+
+TEST(Rho, PaperCrossoverPoints) {
+  // rho1 beats rho2 up to alpha ~ 1.44, then rho2 wins until 2.
+  EXPECT_LT(rho1(1.30), rho2(1.30));
+  EXPECT_GT(rho1(1.60), rho2(1.60));
+  // The crossover sits near 1.44.
+  EXPECT_NEAR(rho1(1.44), rho2(1.44), 0.02);
+}
+
+TEST(Rho, TableGeneratorShape) {
+  const auto rows = rho_table();
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_DOUBLE_EQ(rows.front().alpha, 1.25);
+  EXPECT_DOUBLE_EQ(rows.back().alpha, 3.0);
+  for (const auto& row : rows) {
+    if (row.alpha < 2.0) {
+      EXPECT_EQ(row.rho3, 0.0);
+    } else {
+      EXPECT_GT(row.rho3, 0.0);
+    }
+  }
+}
+
+TEST(Rho, ArgmaxIsInteriorForAlphaTwo) {
+  const double r = rho3_argmax(2.0);
+  EXPECT_GT(r, 1.0);
+  EXPECT_LT(r, 3.0);
+  // At the maximin, f1 and f2 cross.
+  EXPECT_NEAR(rho3_f1(2.0, r), rho3_f2(2.0, r), 1e-6);
+}
+
+}  // namespace
+}  // namespace qbss::analysis

@@ -1,0 +1,108 @@
+// Contract (precondition) death tests: API misuse must abort loudly with
+// a diagnostic instead of producing garbage schedules. One test per
+// documented precondition class.
+#include <gtest/gtest.h>
+
+#include "gen/random_instances.hpp"
+#include "qbss/crcd.hpp"
+#include "qbss/crp2d.hpp"
+#include "qbss/policy.hpp"
+#include "scheduling/discrete.hpp"
+#include "scheduling/multi/avr_m.hpp"
+#include "scheduling/multi/mcnaughton.hpp"
+#include "scheduling/yds_common.hpp"
+
+namespace qbss {
+namespace {
+
+using core::QInstance;
+
+TEST(ContractsDeathTest, InstanceRejectsInvalidWindow) {
+  scheduling::Instance inst;
+  EXPECT_DEATH(inst.add(2.0, 1.0, 1.0), "precondition");
+}
+
+TEST(ContractsDeathTest, QInstanceRejectsZeroQueryCost) {
+  QInstance inst;
+  EXPECT_DEATH(inst.add(0.0, 1.0, 0.0, 1.0, 0.5), "precondition");
+}
+
+TEST(ContractsDeathTest, QInstanceRejectsExactAboveUpper) {
+  QInstance inst;
+  EXPECT_DEATH(inst.add(0.0, 1.0, 0.5, 1.0, 1.5), "precondition");
+}
+
+TEST(ContractsDeathTest, SplitPolicyRejectsDegenerateFractions) {
+  EXPECT_DEATH((void)core::SplitPolicy::fraction(0.0), "precondition");
+  EXPECT_DEATH((void)core::SplitPolicy::fraction(1.0), "precondition");
+}
+
+TEST(ContractsDeathTest, QueryPolicyRejectsOutOfRangeThreshold) {
+  EXPECT_DEATH((void)core::QueryPolicy::threshold(1.5), "precondition");
+}
+
+TEST(ContractsDeathTest, CrcdRequiresCommonRelease) {
+  QInstance inst;
+  inst.add(0.0, 4.0, 0.5, 1.0, 0.5);
+  inst.add(1.0, 4.0, 0.5, 1.0, 0.5);  // staggered release
+  EXPECT_DEATH((void)core::crcd(inst), "precondition");
+}
+
+TEST(ContractsDeathTest, CrcdRequiresCommonDeadline) {
+  QInstance inst;
+  inst.add(0.0, 4.0, 0.5, 1.0, 0.5);
+  inst.add(0.0, 5.0, 0.5, 1.0, 0.5);
+  EXPECT_DEATH((void)core::crcd(inst), "precondition");
+}
+
+TEST(ContractsDeathTest, Crp2dRequiresPowerOfTwoDeadlines) {
+  QInstance inst;
+  inst.add(0.0, 3.0, 0.5, 1.0, 0.5);  // deadline 3 is not a power of two
+  EXPECT_DEATH((void)core::crp2d(inst), "precondition");
+}
+
+TEST(ContractsDeathTest, AvrMRequiresAtLeastOneMachine) {
+  scheduling::Instance inst;
+  inst.add(0.0, 1.0, 1.0);
+  EXPECT_DEATH((void)scheduling::avr_m(inst, 0), "precondition");
+}
+
+TEST(ContractsDeathTest, McNaughtonRejectsOversizedDemand) {
+  const std::vector<scheduling::SlotDemand> demands = {{0, 2.0}};
+  EXPECT_DEATH(
+      (void)scheduling::mcnaughton_pack({0.0, 1.0}, demands, 2),
+      "precondition");
+}
+
+TEST(ContractsDeathTest, McNaughtonRejectsOverCapacity) {
+  const std::vector<scheduling::SlotDemand> demands = {
+      {0, 1.0}, {1, 1.0}, {2, 1.0}};
+  EXPECT_DEATH(
+      (void)scheduling::mcnaughton_pack({0.0, 1.0}, demands, 2),
+      "precondition");
+}
+
+TEST(ContractsDeathTest, DiscretizeRejectsUnsortedMenu) {
+  scheduling::ScheduleBuilder b(1);
+  b.add_rate(0, {0.0, 1.0}, 1.0);
+  const scheduling::Schedule s = std::move(b).build();
+  const std::vector<Speed> menu = {2.0, 1.0};
+  EXPECT_DEATH((void)scheduling::discretize(s, menu), "precondition");
+}
+
+TEST(ContractsDeathTest, YdsCommonReleaseRejectsStaggeredReleases) {
+  scheduling::Instance inst;
+  inst.add(0.0, 2.0, 1.0);
+  inst.add(1.0, 3.0, 1.0);
+  EXPECT_DEATH((void)scheduling::yds_common_release(inst), "precondition");
+}
+
+TEST(ContractsDeathTest, ScheduleRateRejectsUnknownJob) {
+  scheduling::ScheduleBuilder b(1);
+  b.add_rate(0, {0.0, 1.0}, 1.0);
+  const scheduling::Schedule s = std::move(b).build();
+  EXPECT_DEATH((void)s.rate(5), "precondition");
+}
+
+}  // namespace
+}  // namespace qbss

@@ -1,0 +1,154 @@
+// Tests for the discrete speed-level (DVFS) rounding: exact work
+// conservation, menu-only speeds, energy penalty behaviour, and the
+// closed-form geometric-menu penalty.
+#include "scheduling/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/xoshiro.hpp"
+#include "scheduling/avr.hpp"
+#include "scheduling/yds.hpp"
+
+namespace qbss::scheduling {
+namespace {
+
+Instance random_instance(Xoshiro256& rng, int n, double horizon) {
+  Instance inst;
+  for (int j = 0; j < n; ++j) {
+    const Time r = rng.uniform(0.0, horizon);
+    inst.add(r, r + rng.uniform(0.5, 3.0), rng.uniform(0.1, 2.0));
+  }
+  return inst;
+}
+
+TEST(GeometricMenu, ShapeAndOrdering) {
+  const std::vector<Speed> menu = geometric_menu(8.0, 2.0, 4);
+  ASSERT_EQ(menu.size(), 4u);
+  EXPECT_DOUBLE_EQ(menu[0], 1.0);
+  EXPECT_DOUBLE_EQ(menu[1], 2.0);
+  EXPECT_DOUBLE_EQ(menu[2], 4.0);
+  EXPECT_DOUBLE_EQ(menu[3], 8.0);
+}
+
+TEST(Discretize, ExactLevelPassesThrough) {
+  Instance inst;
+  inst.add(0.0, 2.0, 4.0);  // speed 2 exactly on the menu
+  const Schedule s = yds(inst);
+  const std::vector<Speed> menu = {1.0, 2.0, 4.0};
+  const DiscreteResult r = discretize(s, menu);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(validate(inst, r.schedule).feasible);
+  EXPECT_NEAR(r.schedule.energy(3.0), s.energy(3.0), 1e-9);
+}
+
+TEST(Discretize, MixPreservesWorkExactly) {
+  Instance inst;
+  inst.add(0.0, 2.0, 3.0);  // speed 1.5: between levels 1 and 2
+  const Schedule s = yds(inst);
+  const std::vector<Speed> menu = {1.0, 2.0};
+  const DiscreteResult r = discretize(s, menu);
+  ASSERT_TRUE(r.feasible);
+  const ValidationReport report = validate(inst, r.schedule);
+  EXPECT_TRUE(report.feasible)
+      << (report.errors.empty() ? "" : report.errors.front());
+  // Runs at 2 for 1 unit, then 1 for 1 unit: energy (a=2) 4 + 1 = 5.
+  EXPECT_NEAR(r.schedule.energy(2.0), 5.0, 1e-9);
+  EXPECT_GT(r.schedule.energy(2.0), s.energy(2.0));  // penalty is real
+}
+
+TEST(Discretize, OnlyMenuSpeedsAppear) {
+  Xoshiro256 rng(31);
+  const Instance inst = random_instance(rng, 8, 5.0);
+  const Schedule s = avr(inst);
+  const std::vector<Speed> menu = geometric_menu(
+      std::ceil(s.max_speed() + 1.0), 1.5, 8);
+  const DiscreteResult r = discretize(s, menu);
+  ASSERT_TRUE(r.feasible);
+  const std::set<double> allowed(menu.begin(), menu.end());
+  for (const Segment& p : r.schedule.speed().pieces()) {
+    if (p.value <= 0.0) continue;
+    bool on_menu = false;
+    for (const double level : allowed) {
+      if (std::fabs(p.value - level) < 1e-9) on_menu = true;
+    }
+    EXPECT_TRUE(on_menu) << "off-menu speed " << p.value;
+  }
+}
+
+TEST(Discretize, InfeasibleWhenTopLevelTooSlow) {
+  Instance inst;
+  inst.add(0.0, 1.0, 5.0);  // needs speed 5
+  const Schedule s = yds(inst);
+  const std::vector<Speed> menu = {1.0, 2.0};
+  EXPECT_FALSE(discretize(s, menu).feasible);
+}
+
+TEST(Discretize, ValidOnRandomSchedules) {
+  Xoshiro256 rng(37);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Instance inst = random_instance(rng, 10, 6.0);
+    const Schedule s = (trial % 2 == 0) ? yds(inst) : avr(inst);
+    const std::vector<Speed> menu =
+        geometric_menu(s.max_speed() * 1.01, 1.4, 10);
+    const DiscreteResult r = discretize(s, menu);
+    ASSERT_TRUE(r.feasible) << "trial " << trial;
+    EXPECT_TRUE(validate(inst, r.schedule).feasible) << "trial " << trial;
+    EXPECT_GE(r.schedule.energy(3.0) + 1e-9, s.energy(3.0));
+  }
+}
+
+TEST(Discretize, PenaltyShrinksAsMenuDensifies) {
+  Xoshiro256 rng(41);
+  const Instance inst = random_instance(rng, 10, 6.0);
+  const Schedule s = yds(inst);
+  const double alpha = 3.0;
+  const double base = s.energy(alpha);
+  double prev = kInf;
+  for (const int count : {3, 6, 12, 24}) {
+    const std::vector<Speed> menu =
+        geometric_menu(s.max_speed() * 1.01, std::pow(16.0, 1.0 / count),
+                       count);
+    const DiscreteResult r = discretize(s, menu);
+    ASSERT_TRUE(r.feasible);
+    const double penalty = r.schedule.energy(alpha) / base;
+    EXPECT_LE(penalty, prev + 1e-9);
+    prev = penalty;
+  }
+  EXPECT_LT(prev, 1.05);  // 24 levels over 16x range: nearly continuous
+}
+
+TEST(Discretize, PenaltyWithinClosedFormBound) {
+  Xoshiro256 rng(43);
+  const double ratio = 1.7;
+  const double alpha = 2.5;
+  const double bound = geometric_menu_penalty(ratio, alpha);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = random_instance(rng, 8, 5.0);
+    const Schedule s = yds(inst);
+    const std::vector<Speed> menu =
+        geometric_menu(s.max_speed() * 1.0000001, ratio, 16);
+    const DiscreteResult r = discretize(s, menu);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.schedule.energy(alpha), bound * s.energy(alpha) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(GeometricMenuPenalty, ClosedFormSanity) {
+  // Ratio -> 1: no penalty.
+  EXPECT_NEAR(geometric_menu_penalty(1.0001, 3.0), 1.0, 1e-3);
+  // Known bound: penalty <= ratio^(alpha-1).
+  for (const double q : {1.3, 1.7, 2.0, 3.0}) {
+    for (const double a : {1.5, 2.0, 3.0}) {
+      const double p = geometric_menu_penalty(q, a);
+      EXPECT_GT(p, 1.0);
+      EXPECT_LE(p, std::pow(q, a - 1.0) + 1e-9) << "q=" << q << " a=" << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qbss::scheduling

@@ -1,0 +1,190 @@
+// Tests for the forecast-driven policies, the decision oracle, the
+// per-job decision expansion, the generic policy runners, and the fast
+// common-release YDS specialization.
+#include <gtest/gtest.h>
+
+#include "analysis/ratio_harness.hpp"
+#include "common/xoshiro.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/forecast.hpp"
+#include "qbss/generic.hpp"
+#include "qbss/oaq.hpp"
+#include "scheduling/yds.hpp"
+#include "scheduling/yds_common.hpp"
+
+namespace qbss::core {
+namespace {
+
+// ----- expand_with_decisions ---------------------------------------------
+
+TEST(ExpandDecisions, HonoursExplicitChoices) {
+  QInstance inst;
+  inst.add(0.0, 2.0, 0.1, 1.0, 0.5);
+  inst.add(0.0, 2.0, 0.1, 1.0, 0.5);
+  const Expansion e =
+      expand_with_decisions(inst, {true, false}, SplitPolicy::half());
+  EXPECT_TRUE(e.queried[0]);
+  EXPECT_FALSE(e.queried[1]);
+  ASSERT_EQ(e.classical.size(), 3u);
+}
+
+TEST(ExpandDecisions, ThresholdExpandIsSpecialCase) {
+  const QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, 7);
+  const Expansion via_policy =
+      expand(inst, QueryPolicy::golden(), SplitPolicy::half());
+  std::vector<bool> decisions(inst.size());
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    decisions[i] =
+        QueryPolicy::golden().should_query(inst.job(static_cast<JobId>(i)));
+  }
+  const Expansion via_decisions =
+      expand_with_decisions(inst, decisions, SplitPolicy::half());
+  ASSERT_EQ(via_policy.classical.size(), via_decisions.classical.size());
+  EXPECT_EQ(via_policy.queried, via_decisions.queried);
+}
+
+// ----- forecast / decision oracle ------------------------------------------
+
+TEST(Forecast, PerfectPredictionsMatchDecisionOracle) {
+  const QInstance inst = gen::random_online(12, 8.0, 0.5, 4.0, 3);
+  std::vector<Work> perfect;
+  for (const QJob& j : inst.jobs()) perfect.push_back(j.exact_load);
+  const QbssRun a = avr_with_forecast(inst, perfect);
+  const QbssRun b = avr_with_decision_oracle(inst);
+  EXPECT_EQ(a.expansion.queried, b.expansion.queried);
+  EXPECT_NEAR(a.energy(3.0), b.energy(3.0), 1e-12);
+}
+
+TEST(Forecast, AlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, seed);
+    for (const double noise : {0.0, 0.3, 1.0}) {
+      const QbssRun run =
+          avr_with_forecast(inst, noisy_predictions(inst, noise, seed));
+      EXPECT_TRUE(validate_run(inst, run).feasible)
+          << "seed " << seed << " noise " << noise;
+    }
+  }
+}
+
+TEST(Forecast, DecisionOracleBeatsGoldenOnAverage) {
+  // The oracle executes the lighter total load per job, but AVR's time
+  // stacking can still favor the golden rule on individual instances
+  // (a queried job concentrates w* into a half window). The advantage
+  // is an aggregate property: compare sums over a family.
+  const double alpha = 3.0;
+  double oracle_total = 0.0;
+  double golden_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, seed);
+    oracle_total += avr_with_decision_oracle(inst).energy(alpha);
+    golden_total +=
+        avr_with_policies(inst, QueryPolicy::golden(), SplitPolicy::half())
+            .energy(alpha);
+  }
+  EXPECT_LE(oracle_total, golden_total);
+}
+
+TEST(Forecast, NoisyPredictionsClampedToModelRange) {
+  const QInstance inst = gen::random_online(30, 8.0, 0.5, 4.0, 5);
+  const std::vector<Work> preds = noisy_predictions(inst, 2.0, 9);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_GE(preds[i], 0.0);
+    EXPECT_LE(preds[i], inst.jobs()[i].upper_bound);
+  }
+}
+
+// ----- generic policy runners ------------------------------------------------
+
+TEST(GenericRunners, MatchTheNamedAlgorithms) {
+  const QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, 11);
+  const double alpha = 2.5;
+  EXPECT_NEAR(avr_with_policies(inst, QueryPolicy::always(),
+                                SplitPolicy::half())
+                  .energy(alpha),
+              avrq(inst).energy(alpha), 1e-12);
+  EXPECT_NEAR(bkp_with_policies(inst, QueryPolicy::golden(),
+                                SplitPolicy::half())
+                  .nominal_energy(alpha),
+              bkpq(inst).nominal_energy(alpha), 1e-12);
+  EXPECT_NEAR(oa_with_policies(inst, QueryPolicy::golden(),
+                               SplitPolicy::half())
+                  .energy(alpha),
+              oaq(inst).energy(alpha), 1e-12);
+}
+
+TEST(GenericRunners, AllValidAcrossPolicyGrid) {
+  const QInstance inst = gen::random_online(8, 6.0, 0.5, 3.0, 13);
+  for (const double threshold : {0.0, 0.5, 1.0}) {
+    for (const double x : {0.25, 0.5, 0.75}) {
+      const QbssRun run = avr_with_policies(
+          inst, QueryPolicy::threshold(threshold), SplitPolicy::fraction(x));
+      EXPECT_TRUE(validate_run(inst, run).feasible)
+          << "threshold " << threshold << " x " << x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qbss::core
+
+namespace qbss::scheduling {
+namespace {
+
+// ----- yds_common_release ------------------------------------------------
+
+TEST(YdsCommon, MatchesGeneralYdsOnRandomInstances) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    Instance inst;
+    const int n = 1 + static_cast<int>(rng.below(12));
+    for (int j = 0; j < n; ++j) {
+      inst.add(0.0, rng.uniform(0.3, 8.0), rng.uniform(0.0, 3.0));
+    }
+    const Schedule fast = yds_common_release(inst);
+    const Schedule reference = yds(inst);
+    ASSERT_TRUE(validate(inst, fast).feasible) << "trial " << trial;
+    for (const double alpha : {1.5, 2.0, 3.0}) {
+      EXPECT_NEAR(fast.energy(alpha), reference.energy(alpha),
+                  1e-9 * std::max(1.0, reference.energy(alpha)))
+          << "trial " << trial << " alpha " << alpha;
+    }
+    EXPECT_NEAR(fast.max_speed(), reference.max_speed(), 1e-9);
+  }
+}
+
+TEST(YdsCommon, NonZeroCommonRelease) {
+  Instance inst;
+  inst.add(2.0, 3.0, 3.0);
+  inst.add(2.0, 6.0, 1.0);
+  const Schedule s = yds_common_release(inst);
+  EXPECT_TRUE(validate(inst, s).feasible);
+  EXPECT_NEAR(s.energy(2.0), yds(inst).energy(2.0), 1e-9);
+}
+
+TEST(YdsCommon, StaircaseIsNonIncreasing) {
+  Xoshiro256 rng(23);
+  Instance inst;
+  for (int j = 0; j < 10; ++j) {
+    inst.add(0.0, rng.uniform(0.5, 10.0), rng.uniform(0.1, 2.0));
+  }
+  const StepFunction f = yds_common_release_profile(inst);
+  const auto& pieces = f.pieces();
+  for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+    EXPECT_GT(pieces[i].value, pieces[i + 1].value);
+  }
+}
+
+TEST(YdsCommon, EmptyAndZeroWork) {
+  EXPECT_EQ(yds_common_release(Instance{}).job_count(), 0u);
+  Instance zero;
+  zero.add(0.0, 1.0, 0.0);
+  const Schedule s = yds_common_release(zero);
+  EXPECT_TRUE(validate(zero, s).feasible);
+  EXPECT_EQ(s.max_speed(), 0.0);
+}
+
+}  // namespace
+}  // namespace qbss::scheduling

@@ -1,0 +1,224 @@
+// Tests of the workload generators: model validity of everything they
+// emit, determinism, and that each family has the structural property its
+// experiment relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/compression.hpp"
+#include "gen/nested.hpp"
+#include "gen/optimizer.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/policy.hpp"
+
+namespace qbss::gen {
+namespace {
+
+using core::QInstance;
+using core::QJob;
+
+void expect_all_valid(const QInstance& inst) {
+  for (const QJob& j : inst.jobs()) {
+    EXPECT_TRUE(j.valid()) << "r=" << j.release << " d=" << j.deadline
+                           << " c=" << j.query_cost << " w=" << j.upper_bound
+                           << " w*=" << j.exact_load;
+  }
+}
+
+TEST(RandomInstances, CommonDeadlineShape) {
+  const QInstance inst = random_common_deadline(30, 8.0, 1);
+  ASSERT_EQ(inst.size(), 30u);
+  expect_all_valid(inst);
+  EXPECT_TRUE(inst.common_release());
+  EXPECT_TRUE(inst.common_deadline());
+  EXPECT_DOUBLE_EQ(inst.job(0).deadline, 8.0);
+}
+
+TEST(RandomInstances, Pow2DeadlinesArePowers) {
+  const QInstance inst = random_pow2_deadlines(40, 5, 2);
+  expect_all_valid(inst);
+  EXPECT_TRUE(inst.common_release());
+  for (const QJob& j : inst.jobs()) {
+    int exp = 0;
+    EXPECT_EQ(std::frexp(j.deadline, &exp), 0.5) << j.deadline;
+    EXPECT_LE(j.deadline, 32.0);
+    EXPECT_GE(j.deadline, 1.0);
+  }
+}
+
+TEST(RandomInstances, ArbitraryDeadlinesInRange) {
+  const QInstance inst = random_arbitrary_deadlines(40, 12.0, 3);
+  expect_all_valid(inst);
+  EXPECT_TRUE(inst.common_release());
+  for (const QJob& j : inst.jobs()) {
+    EXPECT_GT(j.deadline, 0.5 - 1e-12);
+    EXPECT_LE(j.deadline, 12.0);
+  }
+}
+
+TEST(RandomInstances, OnlineWindowsInRange) {
+  const QInstance inst = random_online(40, 10.0, 0.5, 2.5, 4);
+  expect_all_valid(inst);
+  for (const QJob& j : inst.jobs()) {
+    EXPECT_GE(j.release, 0.0);
+    EXPECT_LT(j.release, 10.0);
+    EXPECT_GE(j.window_length(), 0.5 - 1e-12);
+    EXPECT_LE(j.window_length(), 2.5 + 1e-12);
+  }
+}
+
+TEST(RandomInstances, DeterministicGivenSeed) {
+  const QInstance a = random_online(20, 10.0, 0.5, 2.5, 99);
+  const QInstance b = random_online(20, 10.0, 0.5, 2.5, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs()[i], b.jobs()[i]);
+  }
+  const QInstance c = random_online(20, 10.0, 0.5, 2.5, 100);
+  EXPECT_NE(a.job(0).upper_bound, c.job(0).upper_bound);
+}
+
+TEST(RandomInstances, LoadProfileRespected) {
+  LoadProfile p;
+  p.w_min = 2.0;
+  p.w_max = 3.0;
+  p.query_frac_min = 0.5;
+  p.query_frac_max = 0.5;
+  p.compress_min = 0.25;
+  p.compress_max = 0.25;
+  const QInstance inst = random_common_deadline(25, 4.0, 5, p);
+  for (const QJob& j : inst.jobs()) {
+    EXPECT_GE(j.upper_bound, 2.0);
+    EXPECT_LE(j.upper_bound, 3.0);
+    EXPECT_NEAR(j.query_cost, 0.5 * j.upper_bound, 1e-12);
+    EXPECT_NEAR(j.exact_load, 0.25 * j.upper_bound, 1e-12);
+  }
+}
+
+// ----- Compression ------------------------------------------------------
+
+TEST(Compression, TextCorpusCompressesWell) {
+  CompressionConfig cfg;
+  cfg.corpus = CorpusKind::kText;
+  cfg.files = 60;
+  const QInstance inst = compression_instance(cfg, 7);
+  expect_all_valid(inst);
+  for (const QJob& j : inst.jobs()) {
+    const double factor = j.exact_load / j.upper_bound;
+    EXPECT_GE(factor, 0.1 - 1e-12);
+    EXPECT_LE(factor, 0.4 + 1e-12);
+  }
+}
+
+TEST(Compression, IncompressibleCorpusKeepsLoads) {
+  CompressionConfig cfg;
+  cfg.corpus = CorpusKind::kIncompressible;
+  const QInstance inst = compression_instance(cfg, 8);
+  for (const QJob& j : inst.jobs()) {
+    EXPECT_DOUBLE_EQ(j.exact_load, j.upper_bound);
+  }
+}
+
+TEST(Compression, PassCostFractionControlsGoldenRule) {
+  // kappa < 1/phi: golden rule queries every file.
+  CompressionConfig cheap;
+  cheap.pass_cost_fraction = 0.2;
+  const QInstance a = compression_instance(cheap, 9);
+  const core::QueryPolicy golden = core::QueryPolicy::golden();
+  for (const QJob& j : a.jobs()) EXPECT_TRUE(golden.should_query(j));
+
+  // kappa > 1/phi: it queries none.
+  CompressionConfig dear;
+  dear.pass_cost_fraction = 0.7;
+  const QInstance b = compression_instance(dear, 9);
+  for (const QJob& j : b.jobs()) EXPECT_FALSE(golden.should_query(j));
+}
+
+TEST(Compression, StreamHasStaggeredReleases) {
+  CompressionConfig cfg;
+  cfg.files = 30;
+  const QInstance inst = compression_stream(cfg, 20.0, 4.0, 11);
+  expect_all_valid(inst);
+  EXPECT_FALSE(inst.common_release());
+  for (const QJob& j : inst.jobs()) {
+    EXPECT_NEAR(j.window_length(), 4.0, 1e-12);
+  }
+}
+
+// ----- Optimizer --------------------------------------------------------
+
+TEST(Optimizer, BimodalOutcomes) {
+  OptimizerConfig cfg;
+  cfg.jobs = 200;
+  cfg.hit_probability = 0.5;
+  cfg.hit_factor = 0.15;
+  const QInstance inst = optimizer_instance(cfg, 13);
+  expect_all_valid(inst);
+  int hits = 0;
+  for (const QJob& j : inst.jobs()) {
+    const double factor = j.exact_load / j.upper_bound;
+    EXPECT_TRUE(std::fabs(factor - 0.15) < 1e-9 ||
+                std::fabs(factor - 1.0) < 1e-9)
+        << factor;
+    if (factor < 0.5) ++hits;
+  }
+  // ~50% hit rate with generous slack.
+  EXPECT_GT(hits, 60);
+  EXPECT_LT(hits, 140);
+}
+
+TEST(Optimizer, AllMissesMeansQueriesAreWaste) {
+  OptimizerConfig cfg;
+  cfg.hit_probability = 0.0;
+  const QInstance inst = optimizer_instance(cfg, 17);
+  for (const QJob& j : inst.jobs()) {
+    EXPECT_DOUBLE_EQ(j.exact_load, j.upper_bound);
+    EXPECT_FALSE(j.optimum_queries());
+  }
+}
+
+// ----- Structured families ----------------------------------------------
+
+TEST(Nested, FamilyShapes) {
+  const QInstance inst = nested_family(3, 1e-6);
+  ASSERT_EQ(inst.size(), 4u);
+  expect_all_valid(inst);
+  EXPECT_DOUBLE_EQ(inst.job(0).release, 0.0);
+  EXPECT_DOUBLE_EQ(inst.job(1).release, 0.5);
+  EXPECT_DOUBLE_EQ(inst.job(2).release, 0.75);
+  EXPECT_DOUBLE_EQ(inst.job(3).release, 0.875);
+  for (const QJob& j : inst.jobs()) EXPECT_DOUBLE_EQ(j.deadline, 1.0);
+}
+
+TEST(OaAdversarialFamily, WaveStructure) {
+  const QInstance inst = oa_adversarial_family(6, 0.5, 1e-6);
+  expect_all_valid(inst);
+  ASSERT_EQ(inst.size(), 6u);
+  Work total = 0.0;
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const QJob& j = inst.jobs()[i];
+    EXPECT_DOUBLE_EQ(j.deadline, 1.0);
+    EXPECT_DOUBLE_EQ(j.exact_load, j.upper_bound);  // incompressible
+    if (i > 0) {
+      EXPECT_GT(j.release, inst.jobs()[i - 1].release);
+    }
+    total += j.upper_bound;
+  }
+  EXPECT_NEAR(total, 1.0 - std::pow(0.5, 6), 1e-12);
+}
+
+TEST(GeometricReleaseFamily, WorkTelescopesToOne) {
+  const QInstance inst = geometric_release_family(20, 0.7, 1e-6);
+  expect_all_valid(inst);
+  Work total = 0.0;
+  for (const QJob& j : inst.jobs()) total += j.upper_bound;
+  EXPECT_NEAR(total, 1.0 - std::pow(0.7, 20), 1e-12);
+  // Releases increase toward the common deadline 1.
+  for (std::size_t i = 0; i + 1 < inst.size(); ++i) {
+    EXPECT_LT(inst.jobs()[i].release, inst.jobs()[i + 1].release);
+    EXPECT_DOUBLE_EQ(inst.jobs()[i].deadline, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace qbss::gen

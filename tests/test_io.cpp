@@ -1,0 +1,99 @@
+// Tests of the plain-text instance/schedule formats: round-trips,
+// comment/whitespace handling, and precise parse-error reporting.
+#include "io/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/random_instances.hpp"
+#include "scheduling/yds.hpp"
+
+namespace qbss::io {
+namespace {
+
+TEST(IoQInstance, ParsesBasicFile) {
+  std::istringstream in(
+      "# release deadline query_cost upper_bound exact_load\n"
+      "0.0 4.0 0.5 3.0 1.0\n"
+      "\n"
+      "1.0 5.0 0.4 2.0 2.0   # trailing comment\n");
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed.value->size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.value->job(0).query_cost, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.value->job(1).exact_load, 2.0);
+}
+
+TEST(IoQInstance, RejectsWrongColumnCount) {
+  std::istringstream in("0.0 4.0 0.5 3.0\n");
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error.line, 1);
+}
+
+TEST(IoQInstance, RejectsInvalidJobWithLineNumber) {
+  std::istringstream in(
+      "0.0 4.0 0.5 3.0 1.0\n"
+      "0.0 4.0 5.0 3.0 1.0\n");  // c > w
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error.line, 2);
+}
+
+TEST(IoQInstance, RejectsTrailingJunk) {
+  std::istringstream in("0.0 4.0 0.5 3.0 1.0 oops\n");
+  EXPECT_FALSE(read_qinstance(in));
+}
+
+TEST(IoQInstance, RoundTripsGeneratedInstances) {
+  const core::QInstance original =
+      gen::random_online(25, 10.0, 0.5, 4.0, 42);
+  std::ostringstream out;
+  write_qinstance(out, original);
+  std::istringstream in(out.str());
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed.value->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    // Default stream precision is 6 significant digits; compare loosely.
+    EXPECT_NEAR(parsed.value->jobs()[i].upper_bound,
+                original.jobs()[i].upper_bound,
+                1e-4 * original.jobs()[i].upper_bound);
+  }
+}
+
+TEST(IoInstance, ParsesClassicalTriples) {
+  std::istringstream in("0 2 4\n1 3 2\n");
+  const Parsed<scheduling::Instance> parsed = read_instance(in);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed.value->size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.value->job(1).work, 2.0);
+}
+
+TEST(IoInstance, RejectsEmptyWindow) {
+  std::istringstream in("2 2 4\n");
+  EXPECT_FALSE(read_instance(in));
+}
+
+TEST(IoSchedule, WritesSummaryAndPieces) {
+  scheduling::Instance inst;
+  inst.add(0.0, 2.0, 4.0);
+  const scheduling::Schedule s = scheduling::yds(inst);
+  std::ostringstream out;
+  write_schedule(out, s, 2.0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# energy(alpha=2) = 8"), std::string::npos);
+  EXPECT_NE(text.find("# max_speed = 2"), std::string::npos);
+  EXPECT_NE(text.find("0 0 2 2"), std::string::npos);
+}
+
+TEST(IoQInstance, EmptyInputYieldsEmptyInstance) {
+  std::istringstream in("# only comments\n\n");
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed.value->empty());
+}
+
+}  // namespace
+}  // namespace qbss::io

@@ -1,0 +1,89 @@
+// Tests for the JSON export: structural wellformedness (balanced braces,
+// expected keys, counts) and numeric round-trip fidelity.
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+
+namespace qbss::io {
+namespace {
+
+int count(const std::string& text, char c) {
+  int n = 0;
+  for (const char ch : text) n += (ch == c) ? 1 : 0;
+  return n;
+}
+
+TEST(Json, InstanceStructure) {
+  core::QInstance inst;
+  inst.add(0.0, 4.0, 0.5, 3.0, 1.0);
+  inst.add(1.0, 5.0, 0.4, 2.0, 2.0);
+  std::ostringstream out;
+  write_json_instance(out, inst);
+  const std::string text = out.str();
+  EXPECT_EQ(count(text, '{'), count(text, '}'));
+  EXPECT_EQ(count(text, '['), count(text, ']'));
+  EXPECT_NE(text.find("\"jobs\":["), std::string::npos);
+  // Two job objects.
+  std::size_t jobs = 0;
+  for (std::size_t pos = text.find("\"release\""); pos != std::string::npos;
+       pos = text.find("\"release\"", pos + 1)) {
+    ++jobs;
+  }
+  EXPECT_EQ(jobs, 2u);
+}
+
+TEST(Json, NumbersRoundTripPrecisely) {
+  core::QInstance inst;
+  inst.add(0.0, 1.0 / 3.0, 0.1, 0.3, 0.123456789012345);
+  std::ostringstream out;
+  write_json_instance(out, inst);
+  // max_digits10 output contains the full mantissa.
+  EXPECT_NE(out.str().find("0.12345678901234"), std::string::npos);
+}
+
+TEST(Json, RunStructure) {
+  const core::QInstance inst = gen::random_online(5, 6.0, 0.5, 3.0, 4);
+  const core::QbssRun run = core::avrq(inst);
+  std::ostringstream out;
+  write_json_run(out, run, 3.0);
+  const std::string text = out.str();
+  EXPECT_EQ(count(text, '{'), count(text, '}'));
+  EXPECT_EQ(count(text, '['), count(text, ']'));
+  EXPECT_NE(text.find("\"feasible\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"queried\":[true,true,true,true,true]"),
+            std::string::npos);
+  // AVRQ splits every job: 10 parts with alternating kinds.
+  std::size_t queries = 0;
+  for (std::size_t pos = text.find("\"kind\":\"query\"");
+       pos != std::string::npos;
+       pos = text.find("\"kind\":\"query\"", pos + 1)) {
+    ++queries;
+  }
+  EXPECT_EQ(queries, 5u);
+}
+
+TEST(Json, ProfileMatchesPieces) {
+  StepFunction f;
+  f.add_constant({0.0, 1.0}, 2.0);
+  f.add_constant({2.0, 3.0}, 1.0);
+  std::ostringstream out;
+  write_json_profile(out, f);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"begin\":0"), std::string::npos);
+  EXPECT_NE(text.find("\"value\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"begin\":2"), std::string::npos);
+}
+
+TEST(Json, EmptyInstance) {
+  std::ostringstream out;
+  write_json_instance(out, core::QInstance{});
+  EXPECT_EQ(out.str(), "{\"jobs\":[]}\n");
+}
+
+}  // namespace
+}  // namespace qbss::io

@@ -1,0 +1,153 @@
+// Tests for the single-job minimax solver (generalizing Lemmas 4.2/4.3
+// to the full query-fraction curve) and the instance statistics module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/minimax.hpp"
+#include "analysis/stats.hpp"
+#include "common/constants.hpp"
+#include "gen/random_instances.hpp"
+
+namespace qbss::analysis {
+namespace {
+
+// ----- Oracle-model game --------------------------------------------------
+
+TEST(OracleGame, GoldenFractionIsTheHardest) {
+  const double at_golden =
+      single_job_oracle_game_value(hardest_query_fraction(), 2.0).speed;
+  EXPECT_NEAR(at_golden, kPhi, 1e-12);
+  for (const double gamma : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    EXPECT_LE(single_job_oracle_game_value(gamma, 2.0).speed,
+              at_golden + 1e-12)
+        << "gamma " << gamma;
+  }
+}
+
+TEST(OracleGame, EnergyIsSpeedToTheAlpha) {
+  for (const double gamma : {0.2, 0.5, 1.0 / kPhi}) {
+    for (const double alpha : {1.5, 2.0, 3.0}) {
+      const GameValue v = single_job_oracle_game_value(gamma, alpha);
+      EXPECT_NEAR(v.energy, std::pow(v.speed, alpha), 1e-12);
+    }
+  }
+}
+
+TEST(OracleGame, Lemma42ValueRecovered) {
+  const GameValue v =
+      single_job_oracle_game_value(1.0 / kPhi, 3.0);
+  EXPECT_NEAR(v.speed, kPhi, 1e-12);
+  EXPECT_NEAR(v.energy, std::pow(kPhi, 3.0), 1e-12);
+}
+
+// ----- Full deterministic game ---------------------------------------------
+
+TEST(FullGame, AtLeastTheOracleGame) {
+  // Less information can never help the algorithm.
+  for (const double gamma : {0.2, 0.5, 1.0 / kPhi, 0.8}) {
+    for (const double alpha : {2.0, 3.0}) {
+      const GameValue full =
+          single_job_game_value(gamma, alpha, 128, 128);
+      const GameValue oracle = single_job_oracle_game_value(gamma, alpha);
+      EXPECT_GE(full.speed + 1e-6, oracle.speed) << "gamma " << gamma;
+      EXPECT_GE(full.energy + 1e-6, oracle.energy) << "gamma " << gamma;
+    }
+  }
+}
+
+TEST(FullGame, Lemma43ValueAtOneHalf) {
+  // gamma = 1/2 is Lemma 4.3's instance (c=1, w=2 scaled): speed game
+  // value 2, energy game value >= 2^(alpha-1).
+  const GameValue v = single_job_game_value(0.5, 2.0, 256, 256);
+  EXPECT_NEAR(v.speed, 2.0, 0.02);
+  EXPECT_GE(v.energy, 2.0 - 0.02);
+}
+
+TEST(FullGame, SkipDominatesForExpensiveQueries) {
+  // gamma = 1: querying doubles the worst case; the game value comes
+  // from the skip branch and equals 1/gamma... = 1? No: skip against
+  // w*=0 gives ratio 1/min(1, 1) = 1. The whole game collapses: with
+  // c = w the adversary cannot punish skipping (OPT also pays >= c... = w).
+  const GameValue v = single_job_game_value(1.0, 2.0, 128, 128);
+  EXPECT_NEAR(v.speed, 1.0, 0.02);
+}
+
+TEST(FullGame, SpeedValueIsMinOfTwoAndInverseGamma) {
+  // Measured shape (and provable): for gamma <= 1/2 the query branch is
+  // pinned at 2 (Lemma 4.3's dilemma) and skipping costs 1/gamma >= 2,
+  // so the value plateaus at 2; beyond, skipping wins with value
+  // 1/gamma.
+  for (const double gamma : {0.15, 0.3, 0.5, 0.7, 0.85}) {
+    const double v = single_job_game_value(gamma, 2.0, 256, 256).speed;
+    EXPECT_NEAR(v, std::min(2.0, 1.0 / gamma), 0.02) << "gamma " << gamma;
+  }
+}
+
+TEST(FullGame, EnergyValuePeaksAtGoldenFraction) {
+  // The energy game value rises toward gamma = 1/phi (value phi^2 at
+  // alpha = 2 — the skip branch's (1/gamma)^2 meets the query branch)
+  // and falls on both sides.
+  const double at_golden =
+      single_job_game_value(1.0 / kPhi, 2.0, 256, 256).energy;
+  EXPECT_NEAR(at_golden, kPhi * kPhi, 0.02);
+  EXPECT_LT(single_job_game_value(0.3, 2.0, 256, 256).energy,
+            at_golden - 0.3);
+  EXPECT_LT(single_job_game_value(0.9, 2.0, 256, 256).energy,
+            at_golden - 0.3);
+}
+
+// ----- Instance statistics --------------------------------------------------
+
+TEST(Stats, HandComputedInstance) {
+  core::QInstance inst;
+  inst.add(0.0, 2.0, 0.5, 2.0, 1.0);  // p* = 1.5, optimum queries
+  inst.add(0.0, 4.0, 1.0, 1.0, 1.0);  // p* = 1.0, optimum skips
+  const InstanceStats s = instance_stats(inst);
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_DOUBLE_EQ(s.horizon, 4.0);
+  EXPECT_DOUBLE_EQ(s.total_upper_bound, 3.0);
+  EXPECT_DOUBLE_EQ(s.total_best_load, 2.5);
+  EXPECT_DOUBLE_EQ(s.optimum_query_share, 0.5);
+  // golden: job0 c/w = 0.25 <= 1/phi (query), job1 c/w = 1 (skip).
+  EXPECT_DOUBLE_EQ(s.golden_query_share, 0.5);
+  EXPECT_DOUBLE_EQ(s.golden_agreement, 1.0);
+  EXPECT_NEAR(s.potential_gain, 3.0 / 2.5, 1e-12);
+  // Peak density: job0 0.75 on (0,2] + job1 0.25 on (0,4] -> 1.0.
+  EXPECT_NEAR(s.peak_density, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean_window, 3.0);
+}
+
+TEST(Stats, EmptyInstance) {
+  const InstanceStats s = instance_stats(core::QInstance{});
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_EQ(s.total_upper_bound, 0.0);
+}
+
+TEST(Stats, CompressibleCorpusShowsHighGain) {
+  gen::LoadProfile profile;
+  profile.compress_min = 0.0;
+  profile.compress_max = 0.1;
+  profile.query_frac_min = 0.05;
+  profile.query_frac_max = 0.1;
+  const core::QInstance inst =
+      gen::random_online(40, 10.0, 1.0, 3.0, 3, profile);
+  const InstanceStats s = instance_stats(inst);
+  EXPECT_GT(s.potential_gain, 3.0);
+  EXPECT_GT(s.optimum_query_share, 0.95);
+  EXPECT_DOUBLE_EQ(s.golden_query_share, 1.0);
+}
+
+TEST(Stats, IncompressibleCorpusShowsNoGain) {
+  gen::LoadProfile profile;
+  profile.compress_min = 1.0;
+  profile.compress_max = 1.0;
+  const core::QInstance inst =
+      gen::random_online(40, 10.0, 1.0, 3.0, 4, profile);
+  const InstanceStats s = instance_stats(inst);
+  EXPECT_DOUBLE_EQ(s.potential_gain, 1.0);
+  EXPECT_DOUBLE_EQ(s.optimum_query_share, 0.0);
+}
+
+}  // namespace
+}  // namespace qbss::analysis

@@ -1,0 +1,180 @@
+// Tests for the numeric migratory m-machine optimum: closed-form cell
+// energies, reduction to the single-machine optimum, sandwich bounds
+// against the relaxation LB and AVR(m), and the tightened AVR(m)
+// competitive check it enables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "analysis/fluid_opt.hpp"
+#include "analysis/multi_fluid_opt.hpp"
+#include "common/xoshiro.hpp"
+#include "scheduling/multi/avr_m.hpp"
+#include "scheduling/multi/opt_bound.hpp"
+#include "scheduling/yds.hpp"
+
+namespace qbss::analysis {
+namespace {
+
+using scheduling::Instance;
+
+Instance random_instance(Xoshiro256& rng, int n, double horizon) {
+  Instance inst;
+  for (int j = 0; j < n; ++j) {
+    const Time r = rng.uniform(0.0, horizon);
+    inst.add(r, r + rng.uniform(0.5, 3.0), rng.uniform(0.1, 2.0));
+  }
+  return inst;
+}
+
+// ----- multi_cell_energy ------------------------------------------------
+
+TEST(MultiCell, SingleJobRunsAtOwnDensity) {
+  const std::vector<Work> works = {4.0};
+  // speed 2 over length 2 => energy 2 * 2^alpha.
+  EXPECT_DOUBLE_EQ(multi_cell_energy(works, 2.0, 4, 3.0), 2.0 * 8.0);
+  EXPECT_DOUBLE_EQ(multi_cell_job_speed(works, 0, 2.0, 4, 3.0), 2.0);
+}
+
+TEST(MultiCell, EqualJobsPoolEvenly) {
+  const std::vector<Work> works = {1.0, 1.0, 1.0, 1.0};
+  // 4 units over 2 machines, length 1: sigma = 2, energy 2 * 2^a.
+  EXPECT_DOUBLE_EQ(multi_cell_energy(works, 1.0, 2, 2.0), 2.0 * 4.0);
+  EXPECT_DOUBLE_EQ(multi_cell_job_speed(works, 2, 1.0, 2, 2.0), 2.0);
+}
+
+TEST(MultiCell, BigJobPeelsOff) {
+  const std::vector<Work> works = {10.0, 1.0, 1.0};
+  // m=2, L=1: 10 > (12)/2 -> big at speed 10; rest pool at 2 on 1 machine.
+  EXPECT_DOUBLE_EQ(multi_cell_energy(works, 1.0, 2, 2.0), 100.0 + 4.0);
+  EXPECT_DOUBLE_EQ(multi_cell_job_speed(works, 0, 1.0, 2, 2.0), 10.0);
+  EXPECT_DOUBLE_EQ(multi_cell_job_speed(works, 1, 1.0, 2, 2.0), 2.0);
+}
+
+TEST(MultiCell, SingleMachinePoolsEverything) {
+  const std::vector<Work> works = {3.0, 1.0};
+  EXPECT_DOUBLE_EQ(multi_cell_energy(works, 2.0, 1, 2.0), 2.0 * 4.0);
+}
+
+TEST(MultiCell, MoreMachinesNeverIncreaseEnergy) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Work> works;
+    const std::size_t n = 1 + rng.below(6);
+    for (std::size_t i = 0; i < n; ++i) works.push_back(rng.uniform(0.1, 5.0));
+    double prev = kInf;
+    for (const int m : {1, 2, 3, 4, 8}) {
+      const double e = multi_cell_energy(works, 1.5, m, 2.5);
+      EXPECT_LE(e, prev + 1e-9);
+      prev = e;
+    }
+  }
+}
+
+TEST(MultiCell, LowerBoundedByFullPooling) {
+  // Full parallelization (ignoring the one-machine-per-job rule) is a
+  // relaxation: m L (Q/(mL))^a <= cell energy.
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Work> works;
+    Work total = 0.0;
+    const std::size_t n = 1 + rng.below(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      works.push_back(rng.uniform(0.1, 5.0));
+      total += works.back();
+    }
+    const int m = 3;
+    const double len = 2.0;
+    const double alpha = 3.0;
+    const double relaxed =
+        m * len * std::pow(total / (m * len), alpha);
+    EXPECT_GE(multi_cell_energy(works, len, m, alpha) + 1e-9, relaxed);
+  }
+}
+
+// ----- multi_fluid_optimal_energy ----------------------------------------
+
+TEST(MultiOpt, OneMachineMatchesYds) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = random_instance(rng, 4, 4.0);
+    for (const double alpha : {2.0, 3.0}) {
+      const Energy numeric = multi_fluid_optimal_energy(inst, 1, alpha, 80);
+      const Energy exact = scheduling::optimal_energy(inst, alpha);
+      EXPECT_NEAR(numeric / exact, 1.0, 2e-3) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MultiOpt, SandwichedBetweenRelaxationAndAvrM) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = random_instance(rng, 6, 4.0);
+    for (const int m : {2, 3}) {
+      const double alpha = 2.5;
+      const Energy opt = multi_fluid_optimal_energy(inst, m, alpha, 60);
+      const Energy lb =
+          scheduling::multi_opt_energy_lower_bound(inst, m, alpha);
+      const Energy avr = scheduling::avr_m(inst, m).energy(alpha);
+      EXPECT_GE(opt, lb - 1e-6 * lb) << "m=" << m;
+      EXPECT_LE(opt, avr * (1.0 + 1e-6)) << "m=" << m;
+    }
+  }
+}
+
+TEST(MultiOpt, TightensTheAvrMCompetitiveCheck) {
+  // Against the true OPT(m), AVR(m)'s measured ratio must stay within
+  // the proven 2^(a-1) a^a + 1 — a much tighter check than against the
+  // relaxation LB.
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Instance inst = random_instance(rng, 6, 4.0);
+    for (const int m : {2, 4}) {
+      const double alpha = 3.0;
+      const Energy opt = multi_fluid_optimal_energy(inst, m, alpha, 60);
+      const double ratio =
+          scheduling::avr_m(inst, m).energy(alpha) / opt;
+      EXPECT_GE(ratio, 1.0 - 1e-6);
+      EXPECT_LE(ratio, avr_m_energy_upper(alpha) + 1e-6);
+    }
+  }
+}
+
+TEST(MultiOpt, ManyMachinesReachTheRelaxation) {
+  // With m >= n no job ever shares or queues; every job runs alone at its
+  // density, and so does the relaxation bound for nested single jobs.
+  Instance inst;
+  inst.add(0.0, 1.0, 2.0);
+  inst.add(2.0, 3.0, 1.0);
+  const double alpha = 3.0;
+  const Energy opt = multi_fluid_optimal_energy(inst, 4, alpha, 40);
+  // Disjoint windows: optimum = sum of per-job constant-speed energies.
+  EXPECT_NEAR(opt, 8.0 + 1.0, 1e-6);
+}
+
+TEST(MultiOpt, MonotoneInMachines) {
+  Xoshiro256 rng(17);
+  const Instance inst = random_instance(rng, 6, 4.0);
+  const double alpha = 2.0;
+  double prev = kInf;
+  for (const int m : {1, 2, 3, 4}) {
+    const Energy e = multi_fluid_optimal_energy(inst, m, alpha, 60);
+    EXPECT_LE(e, prev * (1.0 + 1e-6));
+    prev = e;
+  }
+}
+
+// The single-machine fluid solver agrees with the m=1 multi solver.
+TEST(MultiOpt, ConsistentWithSingleMachineFluidSolver) {
+  Xoshiro256 rng(19);
+  const Instance inst = random_instance(rng, 5, 4.0);
+  const double alpha = 2.5;
+  EXPECT_NEAR(multi_fluid_optimal_energy(inst, 1, alpha, 80) /
+                  fluid_optimal_energy(inst, alpha, 400),
+              1.0, 2e-3);
+}
+
+}  // namespace
+}  // namespace qbss::analysis

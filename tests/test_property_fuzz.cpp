@@ -1,0 +1,239 @@
+// Randomized property tests: the step-function algebra against a naive
+// pointwise reference, interval-set operations against dense sampling,
+// EDF conservation laws, and oracle convexity — the foundations every
+// higher layer silently relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/interval_set.hpp"
+#include "common/piecewise.hpp"
+#include "common/xoshiro.hpp"
+#include "qbss/oracle.hpp"
+#include "scheduling/edf.hpp"
+#include "scheduling/yds.hpp"
+
+namespace qbss {
+namespace {
+
+std::vector<Segment> random_segments(Xoshiro256& rng, std::size_t count,
+                                     double horizon) {
+  std::vector<Segment> segs;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Time a = rng.uniform(0.0, horizon);
+    const Time b = a + rng.uniform(0.01, horizon / 2);
+    segs.push_back({{a, b}, rng.uniform(0.0, 5.0)});
+  }
+  return segs;
+}
+
+/// Naive reference: value at t = sum over segments containing t.
+double naive_value(const std::vector<Segment>& segs, Time t) {
+  double v = 0.0;
+  for (const Segment& s : segs) {
+    if (s.span.contains(t)) v += s.value;
+  }
+  return v;
+}
+
+TEST(FuzzStepFunction, SumOfMatchesNaiveEvaluation) {
+  Xoshiro256 rng(1001);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto segs = random_segments(rng, 1 + rng.below(12), 10.0);
+    const StepFunction f = StepFunction::sum_of(segs);
+    for (int probe = 0; probe < 40; ++probe) {
+      const Time t = rng.uniform(-1.0, 11.0);
+      EXPECT_NEAR(f.value(t), naive_value(segs, t), 1e-9)
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(FuzzStepFunction, IntegralMatchesSumOfAreas) {
+  Xoshiro256 rng(1003);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto segs = random_segments(rng, 1 + rng.below(10), 8.0);
+    const StepFunction f = StepFunction::sum_of(segs);
+    double expected = 0.0;
+    for (const Segment& s : segs) expected += s.span.length() * s.value;
+    EXPECT_NEAR(f.integral(), expected, 1e-8 * std::max(1.0, expected));
+  }
+}
+
+TEST(FuzzStepFunction, PlusCommutesAndAssociates) {
+  Xoshiro256 rng(1005);
+  for (int trial = 0; trial < 30; ++trial) {
+    const StepFunction a =
+        StepFunction::sum_of(random_segments(rng, 1 + rng.below(5), 6.0));
+    const StepFunction b =
+        StepFunction::sum_of(random_segments(rng, 1 + rng.below(5), 6.0));
+    const StepFunction c =
+        StepFunction::sum_of(random_segments(rng, 1 + rng.below(5), 6.0));
+    EXPECT_TRUE((a + b).approx_equals(b + a));
+    EXPECT_TRUE(((a + b) + c).approx_equals(a + (b + c), 1e-8));
+  }
+}
+
+TEST(FuzzStepFunction, RestrictThenIntegrateEqualsIntervalIntegral) {
+  Xoshiro256 rng(1007);
+  for (int trial = 0; trial < 30; ++trial) {
+    const StepFunction f =
+        StepFunction::sum_of(random_segments(rng, 1 + rng.below(8), 8.0));
+    const Time a = rng.uniform(0.0, 8.0);
+    const Interval iv{a, a + rng.uniform(0.1, 4.0)};
+    EXPECT_NEAR(f.restricted(iv).integral(), f.integral(iv), 1e-9);
+  }
+}
+
+TEST(FuzzStepFunction, PowerIntegralScalesHomogeneously) {
+  Xoshiro256 rng(1009);
+  for (int trial = 0; trial < 30; ++trial) {
+    const StepFunction f =
+        StepFunction::sum_of(random_segments(rng, 1 + rng.below(6), 5.0));
+    const double k = rng.uniform(0.5, 3.0);
+    const double alpha = rng.uniform(1.2, 3.5);
+    EXPECT_NEAR(f.scaled(k).power_integral(alpha),
+                std::pow(k, alpha) * f.power_integral(alpha),
+                1e-7 * std::max(1.0, f.power_integral(alpha)));
+  }
+}
+
+TEST(FuzzIntervalSet, MembershipMatchesDenseSampling) {
+  Xoshiro256 rng(1011);
+  for (int trial = 0; trial < 30; ++trial) {
+    IntervalSet set;
+    std::vector<Interval> raw;
+    const std::size_t k = 1 + rng.below(8);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Time a = rng.uniform(0.0, 10.0);
+      const Interval iv{a, a + rng.uniform(0.1, 3.0)};
+      raw.push_back(iv);
+      set.insert(iv);
+    }
+    for (int probe = 0; probe < 60; ++probe) {
+      const Time t = rng.uniform(-0.5, 11.0);
+      bool expected = false;
+      for (const Interval& iv : raw) expected |= iv.contains(t);
+      EXPECT_EQ(set.contains(t), expected) << "t=" << t;
+    }
+    // Members are sorted and pairwise disjoint (strictly separated).
+    const auto& members = set.members();
+    for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+      EXPECT_LT(members[i].end, members[i + 1].begin);
+    }
+  }
+}
+
+TEST(FuzzIntervalSet, GapsPartitionTheComplement) {
+  Xoshiro256 rng(1013);
+  for (int trial = 0; trial < 30; ++trial) {
+    IntervalSet set;
+    const std::size_t k = 1 + rng.below(6);
+    for (std::size_t i = 0; i < k; ++i) {
+      const Time a = rng.uniform(0.0, 10.0);
+      set.insert({a, a + rng.uniform(0.1, 2.0)});
+    }
+    const Interval window{0.0, 12.0};
+    double gap_total = 0.0;
+    for (const Interval& g : set.gaps_within(window)) {
+      gap_total += g.length();
+      EXPECT_FALSE(set.contains(g.midpoint()));
+    }
+    EXPECT_NEAR(gap_total + set.measure_within(window), window.length(),
+                1e-9);
+  }
+}
+
+TEST(FuzzEdf, ExecutedWorkNeverExceedsCapacityOrDemand) {
+  Xoshiro256 rng(1017);
+  for (int trial = 0; trial < 40; ++trial) {
+    scheduling::Instance inst;
+    const int n = 1 + static_cast<int>(rng.below(8));
+    for (int j = 0; j < n; ++j) {
+      const Time r = rng.uniform(0.0, 6.0);
+      inst.add(r, r + rng.uniform(0.3, 3.0), rng.uniform(0.1, 2.0));
+    }
+    const StepFunction profile =
+        StepFunction::constant({0.0, 10.0}, rng.uniform(0.2, 2.0));
+    const scheduling::EdfResult res = scheduling::edf_allocate(inst, profile);
+
+    double executed = 0.0;
+    for (std::size_t j = 0; j < inst.size(); ++j) {
+      const double done =
+          res.schedule.rate(static_cast<scheduling::JobId>(j)).integral();
+      executed += done;
+      EXPECT_LE(done, inst.jobs()[j].work + 1e-8);
+      EXPECT_NEAR(done + res.unfinished[j], inst.jobs()[j].work, 1e-7);
+    }
+    EXPECT_LE(executed, profile.integral() + 1e-8);
+    // Feasibility consistency: feasible iff nothing left.
+    double left = 0.0;
+    for (const double u : res.unfinished) left += u;
+    EXPECT_EQ(res.feasible, left <= 1e-7 * n);
+  }
+}
+
+TEST(FuzzEdf, MoreSpeedNeverHurtsFeasibility) {
+  Xoshiro256 rng(1019);
+  for (int trial = 0; trial < 30; ++trial) {
+    scheduling::Instance inst;
+    for (int j = 0; j < 5; ++j) {
+      const Time r = rng.uniform(0.0, 4.0);
+      inst.add(r, r + rng.uniform(0.3, 2.0), rng.uniform(0.1, 1.5));
+    }
+    const double base = rng.uniform(0.2, 2.5);
+    const bool slow = scheduling::edf_feasible(
+        inst, StepFunction::constant({0.0, 7.0}, base));
+    const bool fast = scheduling::edf_feasible(
+        inst, StepFunction::constant({0.0, 7.0}, base * 1.5));
+    EXPECT_LE(static_cast<int>(slow), static_cast<int>(fast));
+  }
+}
+
+TEST(FuzzOracle, SplitEnergyIsConvexWithMinimumAtOracleSplit) {
+  Xoshiro256 rng(1021);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Work w = rng.uniform(0.5, 5.0);
+    const core::QJob job{0.0, rng.uniform(0.5, 4.0), rng.uniform(0.05, w), w,
+                         rng.uniform(0.01, w)};
+    const double alpha = rng.uniform(1.3, 3.5);
+    const double xs = core::oracle_split(job);
+    const double at_best = core::run_with_query(job, xs, alpha).energy;
+    // The oracle split is the global minimizer...
+    for (int probe = 0; probe < 10; ++probe) {
+      const double x = rng.uniform(0.01, 0.99);
+      EXPECT_GE(core::run_with_query(job, x, alpha).energy + 1e-9, at_best)
+          << "x=" << x;
+    }
+    // ...and the energy is convex in x (midpoint inequality).
+    const double x1 = rng.uniform(0.01, 0.98);
+    const double x2 = rng.uniform(x1, 0.99);
+    const double mid = 0.5 * (x1 + x2);
+    EXPECT_LE(core::run_with_query(job, mid, alpha).energy,
+              0.5 * core::run_with_query(job, x1, alpha).energy +
+                  0.5 * core::run_with_query(job, x2, alpha).energy + 1e-9);
+  }
+}
+
+TEST(FuzzYds, EnergyMonotoneUnderExtraWork) {
+  Xoshiro256 rng(1023);
+  for (int trial = 0; trial < 20; ++trial) {
+    scheduling::Instance base;
+    for (int j = 0; j < 5; ++j) {
+      const Time r = rng.uniform(0.0, 4.0);
+      base.add(r, r + rng.uniform(0.5, 2.0), rng.uniform(0.1, 1.5));
+    }
+    scheduling::Instance more(
+        std::vector<scheduling::ClassicalJob>(base.jobs().begin(),
+                                              base.jobs().end()));
+    const Time r = rng.uniform(0.0, 4.0);
+    more.add(r, r + 1.0, rng.uniform(0.1, 1.0));
+    const double alpha = 2.5;
+    EXPECT_GE(scheduling::optimal_energy(more, alpha) + 1e-9,
+              scheduling::optimal_energy(base, alpha));
+  }
+}
+
+}  // namespace
+}  // namespace qbss

@@ -1,0 +1,133 @@
+// Tests for the randomized query policy: validity, determinism, the
+// rho = 0 / 1 degenerations, and agreement with the Lemma 4.4 analysis
+// on the single-job game instance.
+#include "qbss/randomized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/ratio_harness.hpp"
+#include "common/constants.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/adversary.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/generic.hpp"
+#include "qbss/oracle.hpp"
+
+namespace qbss::core {
+namespace {
+
+TEST(Randomized, AlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, seed);
+    for (const double rho : {0.0, 0.3, 0.7, 1.0}) {
+      const QbssRun run = avrq_randomized(inst, rho, seed);
+      EXPECT_TRUE(validate_run(inst, run).feasible)
+          << "seed " << seed << " rho " << rho;
+    }
+  }
+}
+
+TEST(Randomized, DeterministicGivenSeed) {
+  const QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, 3);
+  const QbssRun a = avrq_randomized(inst, 0.5, 77);
+  const QbssRun b = avrq_randomized(inst, 0.5, 77);
+  EXPECT_EQ(a.expansion.queried, b.expansion.queried);
+  EXPECT_EQ(a.energy(3.0), b.energy(3.0));
+}
+
+TEST(Randomized, RhoZeroNeverQueries) {
+  const QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, 5);
+  const QbssRun run = avrq_randomized(inst, 0.0, 1);
+  for (const bool q : run.expansion.queried) EXPECT_FALSE(q);
+}
+
+TEST(Randomized, RhoOneMatchesAvrq) {
+  const QInstance inst = gen::random_online(10, 8.0, 0.5, 4.0, 5);
+  const QbssRun a = avrq_randomized(inst, 1.0, 1);
+  const QbssRun b = avrq(inst);
+  for (const bool q : a.expansion.queried) EXPECT_TRUE(q);
+  EXPECT_NEAR(a.energy(3.0), b.energy(3.0), 1e-12);
+}
+
+TEST(Randomized, QueryFrequencyTracksRho) {
+  const QInstance inst = gen::random_online(50, 20.0, 0.5, 4.0, 6);
+  int queried = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    const QbssRun run =
+        avrq_randomized(inst, 0.3, static_cast<std::uint64_t>(t));
+    for (const bool q : run.expansion.queried) queried += q ? 1 : 0;
+  }
+  const double frequency = static_cast<double>(queried) / (50.0 * trials);
+  EXPECT_NEAR(frequency, 0.3, 0.05);
+}
+
+// On the Lemma 4.4 speed-game instance (single job, c = w/2, oracle
+// split replaced by the midpoint — which IS the oracle split when
+// w* = w), the expected max speed interpolates between the pure
+// strategies exactly as the lemma's algebra says.
+TEST(Randomized, MatchesLemma44AlgebraOnGameInstance) {
+  // Single job (0, 1, c=0.5, w=1, w*=1): midpoint split = oracle split
+  // (c + w* split at c/(c+w*) = 1/3 differs, but the *speed* with the
+  // half split is max(2c, 2w*) = 2; compare against the closed form).
+  QInstance inst;
+  inst.add(0.0, 1.0, 0.5, 1.0, 1.0);
+  const double alpha = 2.0;
+  // Querying runs c in (0, 1/2] at speed 1 and w* in (1/2, 1] at speed 2.
+  const QbssRun query = avrq_randomized(inst, 1.0, 1);
+  EXPECT_NEAR(query.max_speed(), 2.0, 1e-12);
+  // Not querying runs w at speed 1.
+  const QbssRun skip = avrq_randomized(inst, 0.0, 1);
+  EXPECT_NEAR(skip.max_speed(), 1.0, 1e-12);
+
+  // Expected max speed at rho estimated over many trials ~ rho*2+(1-rho).
+  const RandomizedEstimate est = estimate_randomized(inst, 0.4, alpha, 400, 9);
+  EXPECT_NEAR(est.mean_max_speed, 0.4 * 2.0 + 0.6 * 1.0, 0.08);
+}
+
+TEST(Randomized, EstimateAveragesEnergy) {
+  QInstance inst;
+  inst.add(0.0, 1.0, 0.5, 1.0, 0.0);
+  const double alpha = 2.0;
+  // Query: c at speed 1 in first half, nothing after -> energy 0.5.
+  // Skip: w = 1 at speed 1 -> energy 1.
+  const RandomizedEstimate est =
+      estimate_randomized(inst, 0.5, alpha, 2000, 11);
+  EXPECT_NEAR(est.mean_energy, 0.5 * 0.5 + 0.5 * 1.0, 0.03);
+}
+
+// The executable randomized policy can beat both deterministic pure
+// strategies on the adversary's own equalizing instance — the point of
+// Lemma 4.4.
+TEST(Randomized, MixingBeatsPureStrategiesOnEqualizer) {
+  // c = w/phi, adversary sets w* = 0 (bad for skip) or w (bad for query):
+  // evaluate expected energy on BOTH and take the max (adversary's best
+  // response); mixing at 1/2 is below both pure maxima.
+  const double alpha = 2.0;
+  const double c = 1.0 / kPhi;
+  auto worst_expected = [&](double rho) {
+    double worst = 0.0;
+    for (const double wstar : {0.0, 1.0}) {
+      QInstance inst;
+      inst.add(0.0, 1.0, c, 1.0, wstar);
+      // Closed-form expectation using the oracle split (Lemma 4.4's
+      // setting): query -> flat speed c + w*, skip -> flat speed w.
+      QJob job = inst.job(0);
+      const double e_query = run_with_oracle_split(job, alpha).energy;
+      const double e_skip = run_without_query(job, alpha).energy;
+      const double opt = single_job_optimum(job, alpha).energy;
+      worst = std::max(worst,
+                       (rho * e_query + (1.0 - rho) * e_skip) / opt);
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_expected(0.5), worst_expected(0.0) - 0.1);
+  EXPECT_LT(worst_expected(0.5), worst_expected(1.0) - 0.1);
+  EXPECT_NEAR(worst_expected(0.5), 0.5 * (1.0 + kPhi * kPhi), 1e-9);
+}
+
+}  // namespace
+}  // namespace qbss::core

@@ -1,0 +1,75 @@
+// Regression snapshots: exact energies of every algorithm on fixed-seed
+// instances, pinned to the values produced by the audited implementation.
+// Any change to an algorithm, a generator, the PRNG or the step-function
+// algebra that alters results shows up here first. Snapshots use a
+// relative tolerance of 1e-9 (values are closed-form sums; bit-identical
+// across runs, near-identical across compilers).
+#include <gtest/gtest.h>
+
+#include "gen/compression.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/crad.hpp"
+#include "qbss/crcd.hpp"
+#include "qbss/oaq.hpp"
+
+namespace qbss::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+QInstance online_42() { return gen::random_online(12, 8.0, 0.5, 4.0, 42); }
+
+TEST(Snapshot, AvrqEnergy) {
+  EXPECT_NEAR(avrq(online_42()).energy(3.0), 12337.1297663861,
+              kTol * 12337.0);
+}
+
+TEST(Snapshot, BkpqNominalEnergy) {
+  EXPECT_NEAR(bkpq(online_42()).nominal_energy(3.0), 84231.0005950558,
+              kTol * 84231.0);
+}
+
+TEST(Snapshot, OaqEnergy) {
+  EXPECT_NEAR(oaq(online_42()).energy(3.0), 6027.84482057426,
+              kTol * 6028.0);
+}
+
+TEST(Snapshot, ClairvoyantEnergy) {
+  EXPECT_NEAR(clairvoyant_energy(online_42(), 3.0), 2513.01755435405,
+              kTol * 2513.0);
+}
+
+TEST(Snapshot, CrcdEnergy) {
+  const QInstance inst = gen::random_common_deadline(12, 6.0, 42);
+  EXPECT_NEAR(crcd(inst).energy(3.0), 12361.9000135315, kTol * 12362.0);
+}
+
+TEST(Snapshot, CradEnergy) {
+  const QInstance inst = gen::random_arbitrary_deadlines(12, 10.0, 42);
+  EXPECT_NEAR(crad(inst).energy(3.0), 7124.62183088857, kTol * 7125.0);
+}
+
+TEST(Snapshot, CrcdOnCompressionCorpus) {
+  gen::CompressionConfig cfg;
+  cfg.files = 12;
+  const QInstance inst = gen::compression_instance(cfg, 42);
+  EXPECT_NEAR(crcd(inst).energy(2.0), 100.516268100709, kTol * 100.5);
+}
+
+// Generators are part of the snapshot contract: the first job of the
+// seed-42 online instance must never change.
+TEST(Snapshot, GeneratorFirstJobPinned) {
+  const QInstance inst = online_42();
+  const QJob& j = inst.job(0);
+  EXPECT_NEAR(j.release, 7.3975435626031008, 1e-12);
+  EXPECT_NEAR(j.deadline, 11.36885726259046, 1e-12);
+  EXPECT_NEAR(j.query_cost, 0.53168677870536374, 1e-12);
+  EXPECT_NEAR(j.upper_bound, 1.2966982250688806, 1e-12);
+  EXPECT_NEAR(j.exact_load, 0.88181108404997555, 1e-12);
+}
+
+}  // namespace
+}  // namespace qbss::core

@@ -1,0 +1,94 @@
+// Tests for the ASCII renderer: structural properties of the output
+// (dimensions, monotone shading, job glyphs), not pixel-perfect strings.
+#include "io/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scheduling/multi/avr_m.hpp"
+#include "scheduling/yds.hpp"
+
+namespace qbss::io {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(RenderProfile, HasRequestedDimensions) {
+  const StepFunction f = StepFunction::constant({0.0, 4.0}, 2.0);
+  const std::string text = render_profile(f, 32, 5, "title");
+  const auto lines = lines_of(text);
+  // title + 5 chart rows + axis + labels.
+  ASSERT_EQ(lines.size(), 8u);
+  EXPECT_EQ(lines[0], "title");
+  // Chart rows start with '^' or '|' and contain exactly 32 plot columns.
+  EXPECT_EQ(lines[1][0], '^');
+  EXPECT_EQ(lines[5][0], '|');
+}
+
+TEST(RenderProfile, ConstantFunctionFillsAllRows) {
+  const StepFunction f = StepFunction::constant({0.0, 1.0}, 1.0);
+  const std::string text = render_profile(f, 16, 4);
+  for (const std::string& line : lines_of(text)) {
+    if (line.empty() || (line[0] != '|' && line[0] != '^')) continue;
+    // Every plot column reaches every level for a constant function.
+    for (int c = 1; c <= 16; ++c) {
+      EXPECT_EQ(line[static_cast<std::size_t>(c)], '#');
+    }
+  }
+}
+
+TEST(RenderProfile, StaircaseShowsDecreasingHeights) {
+  StepFunction f;
+  f.add_constant({0.0, 1.0}, 3.0);
+  f.add_constant({1.0, 2.0}, 1.0);
+  const std::string text = render_profile(f, 20, 6);
+  const auto lines = lines_of(text);
+  // Top row: only the left half is filled.
+  const std::string& top = lines[0];
+  EXPECT_EQ(top[1], '#');
+  EXPECT_EQ(top[19], ' ');
+  // Bottom chart row: both halves filled.
+  const std::string& bottom = lines[5];
+  EXPECT_EQ(bottom[1], '#');
+  EXPECT_EQ(bottom[19], '#');
+}
+
+TEST(RenderSchedule, OneLanePerJobPlusProfile) {
+  scheduling::Instance inst;
+  inst.add(0.0, 2.0, 2.0);
+  inst.add(1.0, 3.0, 1.0);
+  const scheduling::Schedule s = scheduling::yds(inst);
+  const std::string text = render_schedule(s, 24);
+  EXPECT_NE(text.find("job 0"), std::string::npos);
+  EXPECT_NE(text.find("job 1"), std::string::npos);
+  EXPECT_NE(text.find("speed:"), std::string::npos);
+}
+
+TEST(RenderMachineSchedule, OneLanePerMachineWithJobDigits) {
+  scheduling::Instance inst;
+  inst.add(0.0, 1.0, 4.0);
+  inst.add(0.0, 1.0, 1.0);
+  const scheduling::MachineSchedule ms = scheduling::avr_m(inst, 2);
+  const std::string text = render_machine_schedule(ms, 20);
+  const auto lines = lines_of(text);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("m0", 0), 0u);
+  EXPECT_NE(lines[0].find('0'), std::string::npos);  // big job on m0
+  EXPECT_NE(lines[1].find('1'), std::string::npos);  // small job on m1
+}
+
+TEST(RenderProfile, EmptyFunctionStillRenders) {
+  const StepFunction f;
+  const std::string text = render_profile(f, 16, 3);
+  EXPECT_FALSE(text.empty());
+}
+
+}  // namespace
+}  // namespace qbss::io

@@ -1,0 +1,79 @@
+// Scale smoke tests: the library at workload sizes a real deployment
+// would see — every result still validated, wall-clock kept modest by
+// choosing the near-linear algorithms for the largest sizes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/xoshiro.hpp"
+
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/avrq_m.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/crcd.hpp"
+#include "scheduling/yds_common.hpp"
+
+namespace qbss {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TEST(Scale, AvrqFiveHundredJobsValidates) {
+  const core::QInstance inst =
+      gen::random_online(500, 100.0, 0.5, 5.0, 2026);
+  const auto start = Clock::now();
+  const core::QbssRun run = core::avrq(inst);
+  const auto report = core::validate_run(inst, run);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_GT(run.energy(3.0), 0.0);
+  EXPECT_LT(seconds_since(start), 10.0);
+}
+
+TEST(Scale, CrcdOneThousandJobs) {
+  const core::QInstance inst =
+      gen::random_common_deadline(1000, 16.0, 2027);
+  const auto start = Clock::now();
+  const core::QbssRun run = core::crcd(inst);
+  EXPECT_TRUE(core::validate_run(inst, run).feasible);
+  EXPECT_LT(seconds_since(start), 10.0);
+}
+
+TEST(Scale, YdsCommonReleaseTwoThousandJobs) {
+  scheduling::Instance inst;
+  Xoshiro256 rng(2028);
+  for (int j = 0; j < 2000; ++j) {
+    inst.add(0.0, rng.uniform(0.5, 50.0), rng.uniform(0.1, 2.0));
+  }
+  const auto start = Clock::now();
+  const scheduling::Schedule s = scheduling::yds_common_release(inst);
+  EXPECT_TRUE(scheduling::validate(inst, s).feasible);
+  EXPECT_LT(seconds_since(start), 10.0);
+}
+
+TEST(Scale, AvrqMHundredJobsEightMachines) {
+  const core::QInstance inst =
+      gen::random_online(100, 20.0, 0.5, 4.0, 2029);
+  const auto start = Clock::now();
+  const core::QbssMultiRun run = core::avrq_m(inst, 8);
+  EXPECT_TRUE(core::validate_multi_run(inst, run).feasible);
+  EXPECT_LT(seconds_since(start), 10.0);
+}
+
+TEST(Scale, ClairvoyantHundredFiftyJobs) {
+  // General YDS is the cubic-ish bottleneck; 150 jobs must stay snappy.
+  const core::QInstance inst =
+      gen::random_online(150, 30.0, 0.5, 4.0, 2030);
+  const auto start = Clock::now();
+  const scheduling::Schedule opt = core::clairvoyant_schedule(inst);
+  EXPECT_TRUE(
+      scheduling::validate(core::clairvoyant_instance(inst), opt).feasible);
+  EXPECT_LT(seconds_since(start), 20.0);
+}
+
+}  // namespace
+}  // namespace qbss

@@ -1,0 +1,185 @@
+// Tests for the fluid schedule representation, its validator, and the EDF
+// allocator — the machinery every algorithm's output passes through.
+#include "scheduling/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scheduling/edf.hpp"
+
+namespace qbss::scheduling {
+namespace {
+
+Instance two_job_instance() {
+  Instance inst;
+  inst.add(0.0, 2.0, 4.0);  // density 2
+  inst.add(1.0, 3.0, 2.0);  // density 1
+  return inst;
+}
+
+TEST(Schedule, BuilderDerivesSpeedFromRates) {
+  const Instance inst = two_job_instance();
+  ScheduleBuilder b(inst.size());
+  b.add_rate(0, {0.0, 2.0}, 2.0);
+  b.add_rate(1, {1.0, 3.0}, 1.0);
+  const Schedule s = std::move(b).build();
+  EXPECT_DOUBLE_EQ(s.speed().value(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.speed().value(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.speed().value(2.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.max_speed(), 3.0);
+}
+
+TEST(Schedule, EnergyIsClosedFormIntegral) {
+  ScheduleBuilder b(1);
+  b.add_rate(0, {0.0, 2.0}, 3.0);
+  const Schedule s = std::move(b).build();
+  EXPECT_DOUBLE_EQ(s.energy(2.0), 18.0);
+  EXPECT_DOUBLE_EQ(s.energy(3.0), 54.0);
+}
+
+TEST(ScheduleValidate, AcceptsExactSchedule) {
+  const Instance inst = two_job_instance();
+  ScheduleBuilder b(inst.size());
+  b.add_rate(0, {0.0, 2.0}, 2.0);
+  b.add_rate(1, {1.0, 3.0}, 1.0);
+  const Schedule s = std::move(b).build();
+  const ValidationReport report = validate(inst, s);
+  EXPECT_TRUE(report.feasible) << (report.errors.empty()
+                                       ? ""
+                                       : report.errors.front());
+}
+
+TEST(ScheduleValidate, RejectsUnderExecution) {
+  const Instance inst = two_job_instance();
+  ScheduleBuilder b(inst.size());
+  b.add_rate(0, {0.0, 2.0}, 2.0);
+  b.add_rate(1, {1.0, 3.0}, 0.5);  // only 1 of 2 units
+  const Schedule s = std::move(b).build();
+  EXPECT_FALSE(validate(inst, s).feasible);
+}
+
+TEST(ScheduleValidate, RejectsWorkOutsideWindow) {
+  const Instance inst = two_job_instance();
+  ScheduleBuilder b(inst.size());
+  b.add_rate(0, {0.0, 2.0}, 2.0);
+  b.add_rate(1, {0.0, 2.0}, 1.0);  // job 1 released at 1, ran from 0
+  const Schedule s = std::move(b).build();
+  EXPECT_FALSE(validate(inst, s).feasible);
+}
+
+TEST(ScheduleValidate, RejectsWrongJobCount) {
+  const Instance inst = two_job_instance();
+  ScheduleBuilder b(1);
+  b.add_rate(0, {0.0, 2.0}, 2.0);
+  const Schedule s = std::move(b).build();
+  EXPECT_FALSE(validate(inst, s).feasible);
+}
+
+TEST(Edf, CompletesFeasibleInstanceAtConstantSpeed) {
+  Instance inst;
+  inst.add(0.0, 1.0, 1.0);
+  inst.add(0.0, 2.0, 1.0);
+  const StepFunction profile = StepFunction::constant({0.0, 2.0}, 1.0);
+  const EdfResult r = edf_allocate(inst, profile);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(validate(inst, r.schedule).feasible);
+  // EDF runs the earlier deadline first.
+  EXPECT_DOUBLE_EQ(r.schedule.rate(0).integral(Interval{0.0, 1.0}), 1.0);
+}
+
+TEST(Edf, DetectsInfeasibleProfile) {
+  Instance inst;
+  inst.add(0.0, 1.0, 2.0);  // needs speed 2
+  const StepFunction profile = StepFunction::constant({0.0, 1.0}, 1.0);
+  const EdfResult r = edf_allocate(inst, profile);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NEAR(r.unfinished[0], 1.0, 1e-9);
+}
+
+TEST(Edf, IdlesWhenNoReleasedWork) {
+  Instance inst;
+  inst.add(1.0, 2.0, 1.0);
+  const StepFunction profile = StepFunction::constant({0.0, 2.0}, 1.0);
+  const EdfResult r = edf_allocate(inst, profile);
+  EXPECT_TRUE(r.feasible);
+  // Nothing may execute before release even though speed is available.
+  EXPECT_DOUBLE_EQ(r.schedule.rate(0).integral(Interval{0.0, 1.0}), 0.0);
+  EXPECT_LE(r.schedule.speed().integral(), profile.integral());
+}
+
+TEST(Edf, PreemptsForEarlierDeadline) {
+  Instance inst;
+  inst.add(0.0, 4.0, 2.0);  // long job
+  inst.add(1.0, 2.0, 1.0);  // urgent job arriving mid-flight
+  const StepFunction profile = StepFunction::constant({0.0, 4.0}, 1.0);
+  const EdfResult r = edf_allocate(inst, profile);
+  ASSERT_TRUE(r.feasible);
+  // Urgent job owns (1, 2] exclusively.
+  EXPECT_DOUBLE_EQ(r.schedule.rate(1).integral(Interval{1.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(r.schedule.rate(0).integral(Interval{1.0, 2.0}), 0.0);
+}
+
+TEST(Edf, HandlesZeroSpeedGaps) {
+  Instance inst;
+  inst.add(0.0, 3.0, 1.0);
+  StepFunction profile;
+  profile.add_constant({0.0, 1.0}, 0.5);
+  profile.add_constant({2.0, 3.0}, 0.5);  // gap in (1, 2]
+  const EdfResult r = edf_allocate(inst, profile);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.schedule.rate(0).integral(Interval{1.0, 2.0}), 0.0);
+}
+
+TEST(Edf, FeasibilityPredicateMatchesAllocation) {
+  Instance inst;
+  inst.add(0.0, 1.0, 0.9);
+  EXPECT_TRUE(edf_feasible(inst, StepFunction::constant({0.0, 1.0}, 1.0)));
+  EXPECT_FALSE(edf_feasible(inst, StepFunction::constant({0.0, 1.0}, 0.5)));
+}
+
+TEST(Instance, EventTimesSortedDistinct) {
+  const Instance inst = two_job_instance();
+  const std::vector<Time> ts = inst.event_times();
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+TEST(Instance, TotalWorkAndHorizon) {
+  const Instance inst = two_job_instance();
+  EXPECT_DOUBLE_EQ(inst.total_work(), 6.0);
+  EXPECT_DOUBLE_EQ(inst.horizon(), 3.0);
+  EXPECT_FALSE(inst.common_release());
+}
+
+TEST(Schedule, PerJobAccessors) {
+  const Instance inst = two_job_instance();
+  ScheduleBuilder b(inst.size());
+  b.add_rate(0, {0.0, 2.0}, 2.0);
+  b.add_rate(1, {1.0, 3.0}, 1.0);
+  const Schedule s = std::move(b).build();
+  EXPECT_DOUBLE_EQ(s.work_of(0), 4.0);
+  EXPECT_DOUBLE_EQ(s.work_of(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.start_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.completion_time(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.start_time(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.completion_time(1), 3.0);
+}
+
+TEST(Schedule, AccessorsForIdleJob) {
+  ScheduleBuilder b(2);
+  b.add_rate(0, {0.0, 1.0}, 1.0);
+  const Schedule s = std::move(b).build();
+  EXPECT_DOUBLE_EQ(s.work_of(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.completion_time(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.start_time(1), 0.0);
+}
+
+TEST(ClassicalJob, DensityAndValidity) {
+  const ClassicalJob j{1.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(j.density(), 2.0);
+  EXPECT_TRUE(j.valid());
+  EXPECT_FALSE((ClassicalJob{2.0, 1.0, 1.0}).valid());
+  EXPECT_FALSE((ClassicalJob{0.0, 1.0, -1.0}).valid());
+}
+
+}  // namespace
+}  // namespace qbss::scheduling

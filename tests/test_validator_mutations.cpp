@@ -1,0 +1,182 @@
+// Mutation tests for the validators: start from known-valid runs and
+// corrupt them in targeted ways; every corruption must be rejected. A
+// validator that accepts everything would silently green-light broken
+// algorithms, so these tests guard the guards.
+#include <gtest/gtest.h>
+
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/run.hpp"
+#include "scheduling/avr.hpp"
+#include "scheduling/multi/avr_m.hpp"
+#include "scheduling/yds.hpp"
+
+namespace qbss::core {
+namespace {
+
+QInstance small_instance() {
+  QInstance inst;
+  inst.add(0.0, 4.0, 0.5, 2.0, 1.0);
+  inst.add(1.0, 5.0, 0.4, 1.5, 1.5);
+  inst.add(0.5, 3.5, 1.4, 1.5, 0.2);
+  return inst;
+}
+
+/// Rebuilds `run.schedule` with every rate scaled by `factor`.
+scheduling::Schedule scaled_rates(const QbssRun& run, double factor) {
+  scheduling::ScheduleBuilder b(run.expansion.classical.size());
+  for (std::size_t i = 0; i < run.expansion.classical.size(); ++i) {
+    const auto id = static_cast<scheduling::JobId>(i);
+    b.add_rate(id, run.schedule.rate(id).scaled(factor));
+  }
+  return std::move(b).build();
+}
+
+TEST(RunMutations, BaselineIsValid) {
+  const QInstance inst = small_instance();
+  const QbssRun run = avrq(inst);
+  EXPECT_TRUE(validate_run(inst, run).feasible);
+}
+
+TEST(RunMutations, UnderExecutionRejected) {
+  const QInstance inst = small_instance();
+  QbssRun run = avrq(inst);
+  run.schedule = scaled_rates(run, 0.9);
+  EXPECT_FALSE(validate_run(inst, run).feasible);
+}
+
+TEST(RunMutations, OverExecutionRejected) {
+  const QInstance inst = small_instance();
+  QbssRun run = avrq(inst);
+  run.schedule = scaled_rates(run, 1.1);
+  EXPECT_FALSE(validate_run(inst, run).feasible);
+}
+
+TEST(RunMutations, DroppedPartRejected) {
+  const QInstance inst = small_instance();
+  QbssRun run = avrq(inst);
+  scheduling::ScheduleBuilder b(run.expansion.classical.size());
+  for (std::size_t i = 1; i < run.expansion.classical.size(); ++i) {
+    const auto id = static_cast<scheduling::JobId>(i);
+    b.add_rate(id, run.schedule.rate(id));
+  }
+  run.schedule = std::move(b).build();
+  EXPECT_FALSE(validate_run(inst, run).feasible);
+}
+
+TEST(RunMutations, ExactBeforeQueryRejected) {
+  // Forge an expansion whose exact part starts before the query ends.
+  const QInstance inst = small_instance();
+  QbssRun run;
+  run.expansion.queried.assign(inst.size(), false);
+  RevealGate gate(inst);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const auto q = static_cast<JobId>(i);
+    const QJob& job = inst.job(q);
+    run.expansion.queried[i] = true;
+    const Time tau = job.release + 0.5 * job.window_length();
+    run.expansion.classical.add(job.release, tau, job.query_cost);
+    run.expansion.parts.push_back({q, PartKind::kQuery});
+    gate.reveal(q);
+    // BUG under test: exact part released before the query's deadline.
+    run.expansion.classical.add(job.release, job.deadline,
+                                gate.exact_load(q));
+    run.expansion.parts.push_back({q, PartKind::kExact});
+  }
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  run.feasible = true;
+  EXPECT_FALSE(validate_run(inst, run).feasible);
+}
+
+TEST(RunMutations, WrongQueryLoadRejected) {
+  const QInstance inst = small_instance();
+  QbssRun run;
+  run.expansion.queried.assign(inst.size(), false);
+  RevealGate gate(inst);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const auto q = static_cast<JobId>(i);
+    const QJob& job = inst.job(q);
+    run.expansion.queried[i] = true;
+    const Time tau = job.release + 0.5 * job.window_length();
+    // BUG under test: query executes half the required load.
+    run.expansion.classical.add(job.release, tau, 0.5 * job.query_cost);
+    run.expansion.parts.push_back({q, PartKind::kQuery});
+    gate.reveal(q);
+    run.expansion.classical.add(tau, job.deadline, gate.exact_load(q));
+    run.expansion.parts.push_back({q, PartKind::kExact});
+  }
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  EXPECT_FALSE(validate_run(inst, run).feasible);
+}
+
+TEST(RunMutations, UnqueriedMustRunUpperBound) {
+  const QInstance inst = small_instance();
+  QbssRun run;
+  run.expansion.queried.assign(inst.size(), false);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const auto q = static_cast<JobId>(i);
+    const QJob& job = inst.job(q);
+    // BUG under test: skipping the query but executing the exact load
+    // (reading hidden information without paying for it).
+    run.expansion.classical.add(job.release, job.deadline, job.exact_load);
+    run.expansion.parts.push_back({q, PartKind::kFull});
+  }
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  EXPECT_FALSE(validate_run(inst, run).feasible);
+}
+
+TEST(RunMutations, WindowEscapeRejected) {
+  const QInstance inst = small_instance();
+  QbssRun run;
+  run.expansion.queried.assign(inst.size(), false);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const auto q = static_cast<JobId>(i);
+    const QJob& job = inst.job(q);
+    // BUG under test: window stretched past the deadline.
+    run.expansion.classical.add(job.release, job.deadline + 1.0,
+                                job.upper_bound);
+    run.expansion.parts.push_back({q, PartKind::kFull});
+  }
+  run.schedule = scheduling::avr(run.expansion.classical);
+  run.nominal = run.schedule.speed();
+  EXPECT_FALSE(validate_run(inst, run).feasible);
+}
+
+TEST(MultiMutations, ParallelSelfExecutionRejected) {
+  scheduling::Instance inst;
+  inst.add(0.0, 2.0, 4.0);
+  scheduling::MachineSchedule ms(2);
+  ms.add({0, 0, {0.0, 2.0}, 1.0});
+  ms.add({0, 1, {0.0, 2.0}, 1.0});  // same job simultaneously elsewhere
+  EXPECT_FALSE(scheduling::validate_multi(inst, ms).feasible);
+}
+
+TEST(MultiMutations, ValidBaselinePasses) {
+  scheduling::Instance inst;
+  inst.add(0.0, 2.0, 4.0);
+  inst.add(0.0, 2.0, 2.0);
+  const scheduling::MachineSchedule ms = scheduling::avr_m(inst, 2);
+  EXPECT_TRUE(scheduling::validate_multi(inst, ms).feasible);
+}
+
+TEST(ScheduleMutations, SpeedProfileMismatchRejected) {
+  scheduling::Instance inst;
+  inst.add(0.0, 2.0, 2.0);
+  // Build a schedule whose stored speed disagrees with the rates by
+  // constructing rates for a different work amount than validated.
+  scheduling::ScheduleBuilder b(1);
+  b.add_rate(0, {0.0, 2.0}, 1.0);
+  const scheduling::Schedule good = std::move(b).build();
+  ASSERT_TRUE(scheduling::validate(inst, good).feasible);
+
+  scheduling::Instance other;
+  other.add(0.0, 2.0, 3.0);  // expects 3 units, schedule provides 2
+  EXPECT_FALSE(scheduling::validate(other, good).feasible);
+}
+
+}  // namespace
+}  // namespace qbss::core

@@ -1,0 +1,184 @@
+// Correctness of the YDS optimal offline algorithm: hand-computable
+// instances, structural optimality properties, and cross-checks against
+// the independent fluid-relaxation solver.
+#include "scheduling/yds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fluid_opt.hpp"
+#include "common/xoshiro.hpp"
+#include "scheduling/avr.hpp"
+#include "scheduling/bkp.hpp"
+#include "scheduling/edf.hpp"
+#include "scheduling/oa.hpp"
+
+namespace qbss::scheduling {
+namespace {
+
+TEST(Yds, SingleJobRunsAtDensity) {
+  Instance inst;
+  inst.add(0.0, 2.0, 4.0);
+  const Schedule s = yds(inst);
+  EXPECT_TRUE(validate(inst, s).feasible);
+  EXPECT_DOUBLE_EQ(s.max_speed(), 2.0);
+  EXPECT_DOUBLE_EQ(s.energy(3.0), 2.0 * 8.0);
+}
+
+TEST(Yds, CommonWindowJobsShareConstantSpeed) {
+  Instance inst;
+  inst.add(0.0, 4.0, 2.0);
+  inst.add(0.0, 4.0, 6.0);
+  const Schedule s = yds(inst);
+  EXPECT_TRUE(validate(inst, s).feasible);
+  EXPECT_DOUBLE_EQ(s.max_speed(), 2.0);  // (2+6)/4
+  // Constant speed: energy equals D * s^alpha.
+  EXPECT_DOUBLE_EQ(s.energy(2.0), 4.0 * 4.0);
+}
+
+TEST(Yds, DenseInnerJobCreatesCriticalInterval) {
+  // Textbook example: a dense job nested in a loose one.
+  Instance inst;
+  inst.add(0.0, 4.0, 2.0);  // loose
+  inst.add(1.0, 2.0, 3.0);  // dense: forces speed 3 on (1, 2]
+  const Schedule s = yds(inst);
+  EXPECT_TRUE(validate(inst, s).feasible);
+  EXPECT_DOUBLE_EQ(s.speed().value(1.5), 3.0);
+  // Outside the critical interval, the loose job spreads over 3 time
+  // units at speed 2/3.
+  EXPECT_NEAR(s.speed().value(0.5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.speed().value(3.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Yds, CommonReleaseStaircaseSpeeds) {
+  // Common release, staggered deadlines -> non-increasing staircase.
+  Instance inst;
+  inst.add(0.0, 1.0, 3.0);
+  inst.add(0.0, 2.0, 1.0);
+  inst.add(0.0, 4.0, 1.0);
+  const Schedule s = yds(inst);
+  EXPECT_TRUE(validate(inst, s).feasible);
+  const StepFunction& f = s.speed();
+  // Intensities: (0,1]: 3; then 1 over (1,2]; then 0.5 over (2,4].
+  EXPECT_DOUBLE_EQ(f.value(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(f.value(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.value(3.0), 0.5);
+}
+
+TEST(Yds, SpeedNonIncreasingForCommonRelease) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Instance inst;
+    for (int j = 0; j < 8; ++j) {
+      inst.add(0.0, rng.uniform(0.5, 8.0), rng.uniform(0.1, 4.0));
+    }
+    const Schedule s = yds(inst);
+    ASSERT_TRUE(validate(inst, s).feasible);
+    const auto& pieces = s.speed().pieces();
+    for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+      EXPECT_GE(pieces[i].value, pieces[i + 1].value - 1e-9)
+          << "YDS speed must be non-increasing under common release";
+    }
+  }
+}
+
+TEST(Yds, ZeroWorkJobsIgnored) {
+  Instance inst;
+  inst.add(0.0, 1.0, 0.0);
+  inst.add(0.0, 2.0, 2.0);
+  const Schedule s = yds(inst);
+  EXPECT_TRUE(validate(inst, s).feasible);
+  EXPECT_DOUBLE_EQ(s.max_speed(), 1.0);
+}
+
+TEST(Yds, MatchesFluidRelaxationOnRandomInstances) {
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 25; ++trial) {
+    Instance inst;
+    const int n = 2 + static_cast<int>(rng.below(6));
+    for (int j = 0; j < n; ++j) {
+      const Time r = rng.uniform(0.0, 6.0);
+      inst.add(r, r + rng.uniform(0.5, 4.0), rng.uniform(0.1, 3.0));
+    }
+    for (const double alpha : {1.5, 2.0, 3.0}) {
+      const Energy e_yds = optimal_energy(inst, alpha);
+      const Energy e_ref = analysis::fluid_optimal_energy(inst, alpha, 600);
+      EXPECT_NEAR(e_yds / e_ref, 1.0, 1e-4)
+          << "trial " << trial << " alpha " << alpha;
+    }
+  }
+}
+
+TEST(Yds, NeverWorseThanAnyHeuristic) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    Instance inst;
+    const int n = 3 + static_cast<int>(rng.below(5));
+    for (int j = 0; j < n; ++j) {
+      const Time r = rng.uniform(0.0, 5.0);
+      inst.add(r, r + rng.uniform(0.5, 3.0), rng.uniform(0.1, 2.0));
+    }
+    for (const double alpha : {2.0, 3.0}) {
+      const Energy opt = optimal_energy(inst, alpha);
+      EXPECT_LE(opt, avr(inst).energy(alpha) + 1e-9);
+      EXPECT_LE(opt, optimal_available(inst).energy(alpha) + 1e-9);
+      EXPECT_LE(opt, bkp(inst).nominal_energy(alpha) + 1e-9);
+    }
+  }
+}
+
+TEST(Yds, MaxSpeedIsMinimalFeasible) {
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 15; ++trial) {
+    Instance inst;
+    for (int j = 0; j < 5; ++j) {
+      const Time r = rng.uniform(0.0, 4.0);
+      inst.add(r, r + rng.uniform(0.5, 3.0), rng.uniform(0.1, 2.0));
+    }
+    const Speed s_star = optimal_max_speed(inst);
+    // The whole instance is EDF-feasible at the YDS max speed...
+    EXPECT_TRUE(edf_feasible(
+        inst, StepFunction::constant({0.0, inst.horizon()}, s_star + 1e-9)));
+    // ...but not below it.
+    EXPECT_FALSE(edf_feasible(
+        inst,
+        StepFunction::constant({0.0, inst.horizon()}, s_star * 0.99)));
+  }
+}
+
+TEST(Yds, OptimalityInvariantUnderTimeShift) {
+  Instance a;
+  a.add(0.0, 2.0, 1.0);
+  a.add(1.0, 3.0, 2.0);
+  Instance b;
+  b.add(10.0, 12.0, 1.0);
+  b.add(11.0, 13.0, 2.0);
+  EXPECT_NEAR(optimal_energy(a, 2.5), optimal_energy(b, 2.5), 1e-9);
+}
+
+TEST(Yds, OptimalEnergyScalesAsWorkToTheAlpha) {
+  Instance a;
+  a.add(0.0, 2.0, 1.0);
+  a.add(1.0, 3.0, 2.0);
+  Instance b;
+  b.add(0.0, 2.0, 3.0);
+  b.add(1.0, 3.0, 6.0);
+  const double alpha = 2.0;
+  EXPECT_NEAR(optimal_energy(b, alpha),
+              std::pow(3.0, alpha) * optimal_energy(a, alpha), 1e-9);
+}
+
+TEST(Yds, DisjointWindowsScheduleIndependently) {
+  Instance inst;
+  inst.add(0.0, 1.0, 2.0);
+  inst.add(5.0, 7.0, 2.0);
+  const Schedule s = yds(inst);
+  EXPECT_TRUE(validate(inst, s).feasible);
+  EXPECT_DOUBLE_EQ(s.speed().value(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.speed().value(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.speed().value(6.0), 1.0);
+}
+
+}  // namespace
+}  // namespace qbss::scheduling

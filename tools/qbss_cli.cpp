@@ -1,0 +1,258 @@
+// qbss — command-line front end for the library.
+//
+//   qbss gen  --family mixed|compression|optimizer|common|pow2
+//             [--n N] [--seed S]                  write an instance to stdout
+//   qbss run  --algo crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m
+//             [--machines M] [--alpha A] [--schedule] [--input FILE]
+//                                                 run an algorithm on an
+//                                                 instance (stdin or file)
+//   qbss opt  [--alpha A] [--input FILE]          clairvoyant optimum
+//   qbss bounds [--alpha A]                       print Table 1 bounds
+//
+// Example:
+//   qbss gen --family compression --n 20 --seed 7 | qbss run --algo bkpq
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "analysis/stats.hpp"
+#include "gen/compression.hpp"
+#include "gen/optimizer.hpp"
+#include "gen/random_instances.hpp"
+#include "io/format.hpp"
+#include "io/json.hpp"
+#include "io/render.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/avrq_m.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/crad.hpp"
+#include "qbss/crcd.hpp"
+#include "qbss/crp2d.hpp"
+#include "qbss/oaq.hpp"
+
+namespace {
+
+using namespace qbss;
+
+struct Options {
+  std::map<std::string, std::string> values;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return values.count(key) > 0;
+  }
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opts;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg.erase(0, 2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      opts.values[arg] = argv[++i];
+    } else {
+      opts.values[arg] = "";
+    }
+  }
+  return opts;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qbss <gen|run|opt|stats|bounds> [--options]\n"
+               "  gen    --family mixed|compression|optimizer|common|pow2 "
+               "[--n N] [--seed S]\n"
+               "  run    --algo crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m "
+               "[--machines M] [--alpha A] [--schedule] [--plot] [--json] [--input F]\n"
+               "  opt    [--alpha A] [--input F]\n"
+               "  stats  [--input F]\n"
+               "  bounds [--alpha A]\n");
+  return 2;
+}
+
+core::QInstance load_instance(const Options& opts, bool& ok) {
+  const std::string path = opts.get("input", "");
+  io::Parsed<core::QInstance> parsed = [&] {
+    if (path.empty()) return io::read_qinstance(std::cin);
+    std::ifstream file(path);
+    if (!file) {
+      return io::Parsed<core::QInstance>{std::nullopt, {0, "cannot open"}};
+    }
+    return io::read_qinstance(file);
+  }();
+  if (!parsed) {
+    std::fprintf(stderr, "parse error (line %d): %s\n", parsed.error.line,
+                 parsed.error.message.c_str());
+    ok = false;
+    return core::QInstance{};
+  }
+  ok = true;
+  return std::move(*parsed.value);
+}
+
+int cmd_gen(const Options& opts) {
+  const std::string family = opts.get("family", "mixed");
+  const int n = static_cast<int>(opts.number("n", 20));
+  const auto seed = static_cast<std::uint64_t>(opts.number("seed", 1));
+  core::QInstance inst;
+  if (family == "mixed") {
+    inst = gen::random_online(n, 10.0, 0.5, 4.0, seed);
+  } else if (family == "common") {
+    inst = gen::random_common_deadline(n, 8.0, seed);
+  } else if (family == "pow2") {
+    inst = gen::random_pow2_deadlines(n, 4, seed);
+  } else if (family == "compression") {
+    gen::CompressionConfig cfg;
+    cfg.files = n;
+    inst = gen::compression_stream(cfg, 12.0, 3.0, seed);
+  } else if (family == "optimizer") {
+    gen::OptimizerConfig cfg;
+    cfg.jobs = n;
+    inst = gen::optimizer_instance(cfg, seed);
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 2;
+  }
+  io::write_qinstance(std::cout, inst);
+  return 0;
+}
+
+int cmd_run(const Options& opts) {
+  bool ok = false;
+  const core::QInstance inst = load_instance(opts, ok);
+  if (!ok) return 1;
+  if (inst.empty()) {
+    std::fprintf(stderr, "empty instance\n");
+    return 1;
+  }
+  const double alpha = opts.number("alpha", 3.0);
+  const std::string algo = opts.get("algo", "bkpq");
+
+  if (algo == "avrq_m") {
+    const int m = static_cast<int>(opts.number("machines", 4));
+    const core::QbssMultiRun run = core::avrq_m(inst, m);
+    const bool valid = core::validate_multi_run(inst, run).feasible;
+    std::printf("algorithm: AVRQ(m), m = %d\n", m);
+    std::printf("valid: %s\n", valid ? "yes" : "NO");
+    std::printf("energy(alpha=%.2f): %.6g\n", alpha, run.energy(alpha));
+    std::printf("max speed: %.6g\n", run.max_speed());
+    if (opts.flag("plot")) {
+      std::fputs(io::render_machine_schedule(run.schedule).c_str(), stdout);
+    }
+    return valid ? 0 : 1;
+  }
+
+  core::QbssRun run;
+  if (algo == "crcd") {
+    run = core::crcd(inst);
+  } else if (algo == "crp2d") {
+    run = core::crp2d(inst);
+  } else if (algo == "crad") {
+    run = core::crad(inst);
+  } else if (algo == "avrq") {
+    run = core::avrq(inst);
+  } else if (algo == "bkpq") {
+    run = core::bkpq(inst);
+  } else if (algo == "oaq") {
+    run = core::oaq(inst);
+  } else {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
+    return 2;
+  }
+
+  const bool valid = core::validate_run(inst, run).feasible;
+  const Energy opt = core::clairvoyant_energy(inst, alpha);
+  std::printf("algorithm: %s\n", algo.c_str());
+  std::printf("valid: %s\n", valid ? "yes" : "NO");
+  int queried = 0;
+  for (const bool q : run.expansion.queried) queried += q ? 1 : 0;
+  std::printf("queried: %d of %zu jobs\n", queried, inst.size());
+  std::printf("energy(alpha=%.2f): %.6g  (ratio vs optimum: %.4f)\n", alpha,
+              run.energy(alpha), run.energy(alpha) / opt);
+  std::printf("max speed: %.6g\n", run.max_speed());
+  if (opts.flag("schedule")) {
+    io::write_schedule(std::cout, run.schedule, alpha);
+  }
+  if (opts.flag("plot")) {
+    std::fputs(io::render_schedule(run.schedule).c_str(), stdout);
+  }
+  if (opts.flag("json")) {
+    io::write_json_run(std::cout, run, alpha);
+  }
+  return valid ? 0 : 1;
+}
+
+int cmd_opt(const Options& opts) {
+  bool ok = false;
+  const core::QInstance inst = load_instance(opts, ok);
+  if (!ok) return 1;
+  const double alpha = opts.number("alpha", 3.0);
+  const scheduling::Schedule opt = core::clairvoyant_schedule(inst);
+  std::printf("clairvoyant optimum\n");
+  std::printf("energy(alpha=%.2f): %.6g\n", alpha, opt.energy(alpha));
+  std::printf("max speed: %.6g\n", opt.max_speed());
+  int queried = 0;
+  for (const core::QJob& j : inst.jobs()) queried += j.optimum_queries();
+  std::printf("optimum queries %d of %zu jobs\n", queried, inst.size());
+  return 0;
+}
+
+int cmd_stats(const Options& opts) {
+  bool ok = false;
+  const core::QInstance inst = load_instance(opts, ok);
+  if (!ok) return 1;
+  analysis::print_stats(analysis::instance_stats(inst));
+  return 0;
+}
+
+int cmd_bounds(const Options& opts) {
+  const double a = opts.number("alpha", 3.0);
+  std::printf("Table 1 bounds at alpha = %.2f\n", a);
+  std::printf("  offline LB: energy %.4f, speed %.4f\n",
+              analysis::offline_energy_lower(a),
+              analysis::offline_speed_lower());
+  std::printf("  CRCD:   energy %.4f (refined %.4f), speed %.4f\n",
+              analysis::crcd_energy_upper(a),
+              analysis::crcd_energy_upper_refined(a),
+              analysis::crcd_speed_upper());
+  std::printf("  CRP2D:  energy %.4f\n", analysis::crp2d_energy_upper(a));
+  std::printf("  CRAD:   energy %.4f\n", analysis::crad_energy_upper(a));
+  std::printf("  AVRQ:   energy %.4f (LB %.4f)\n",
+              analysis::avrq_energy_upper(a),
+              analysis::avrq_energy_lower(a));
+  std::printf("  BKPQ:   energy %.4f, speed %.4f (LB %.4f)\n",
+              analysis::bkpq_energy_upper(a), analysis::bkpq_speed_upper(),
+              analysis::bkpq_energy_lower(a));
+  std::printf("  AVRQ(m): energy %.4f (LB %.4f)\n",
+              analysis::avrq_m_energy_upper(a),
+              analysis::avrq_m_energy_lower(a));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Options opts = parse_options(argc, argv, 2);
+  if (command == "gen") return cmd_gen(opts);
+  if (command == "run") return cmd_run(opts);
+  if (command == "opt") return cmd_opt(opts);
+  if (command == "stats") return cmd_stats(opts);
+  if (command == "bounds") return cmd_bounds(opts);
+  return usage();
+}

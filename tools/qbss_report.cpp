@@ -1,0 +1,180 @@
+// qbss-report — one-shot reproduction report.
+//
+// Runs a condensed version of every experiment (E1-E18) and emits a
+// single markdown document to stdout: measured value, paper bound, and a
+// pass/fail verdict per row. The full benches under bench/ remain the
+// detailed drivers; this tool is the "does the whole reproduction still
+// hold?" button.
+//
+//   $ ./build/tools/qbss-report > report.md
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "analysis/minimax.hpp"
+#include "analysis/multi_fluid_opt.hpp"
+#include "analysis/ratio_harness.hpp"
+#include "analysis/rho.hpp"
+#include "common/constants.hpp"
+#include "gen/nested.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/adversary.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/avrq_m.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/crad.hpp"
+#include "qbss/crcd.hpp"
+#include "qbss/crp2d.hpp"
+#include "qbss/oaq.hpp"
+#include "scheduling/multi/opt_bound.hpp"
+
+namespace {
+
+using namespace qbss;
+using namespace qbss::core;
+
+int failures = 0;
+
+const char* check(bool ok) {
+  if (!ok) ++failures;
+  return ok ? "pass" : "**FAIL**";
+}
+
+/// Worst energy ratio of `algo` over `seeds` instances from `make`.
+template <typename Make>
+double worst_ratio(const analysis::SingleAlgorithm& algo, Make make,
+                   double alpha, int seeds, bool nominal = false) {
+  double worst = 0.0;
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    const analysis::Measurement m = analysis::measure(make(seed), algo, alpha);
+    if (!m.feasible) return -1.0;  // validation failure — reported as FAIL
+    worst = std::max(worst,
+                     nominal ? m.nominal_energy_ratio : m.energy_ratio);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  const double alpha = 3.0;
+  const int seeds = 10;
+  std::printf("# qbss reproduction report (alpha = %.1f, %d seeds/row)\n\n",
+              alpha, seeds);
+  std::printf("| exp | quantity | measured | bound | verdict |\n");
+  std::printf("|---|---|---|---|---|\n");
+
+  {  // E1 CRCD
+    const double r = worst_ratio(
+        crcd,
+        [](std::uint64_t s) { return gen::random_common_deadline(12, 5.0, s); },
+        alpha, seeds);
+    const double b = analysis::crcd_energy_upper_refined(alpha);
+    std::printf("| E1 | CRCD energy ratio | %.3f | %.3f | %s |\n", r, b,
+                check(r >= 1.0 && r <= b));
+  }
+  {  // E2 CRP2D
+    const double r = worst_ratio(
+        crp2d,
+        [](std::uint64_t s) { return gen::random_pow2_deadlines(12, 4, s); },
+        alpha, seeds);
+    const double b = analysis::crp2d_energy_upper(alpha);
+    std::printf("| E2 | CRP2D energy ratio | %.3f | %.1f | %s |\n", r, b,
+                check(r >= 1.0 && r <= b));
+  }
+  {  // E3 CRAD
+    const double r = worst_ratio(
+        crad,
+        [](std::uint64_t s) {
+          return gen::random_arbitrary_deadlines(12, 12.0, s);
+        },
+        alpha, seeds);
+    const double b = analysis::crad_energy_upper(alpha);
+    std::printf("| E3 | CRAD energy ratio | %.3f | %.1f | %s |\n", r, b,
+                check(r >= 1.0 && r <= b));
+  }
+  {  // E4 AVRQ
+    const double r = worst_ratio(
+        avrq,
+        [](std::uint64_t) {
+          return gen::geometric_release_family(12, 0.5, 1e-6);
+        },
+        alpha, 1);
+    const double b = analysis::avrq_energy_upper(alpha);
+    std::printf("| E4 | AVRQ energy ratio (adversarial) | %.3f | %.1f | %s "
+                "|\n",
+                r, b, check(r >= 1.0 && r <= b));
+  }
+  {  // E5 BKPQ
+    const double r = worst_ratio(
+        bkpq,
+        [](std::uint64_t s) { return gen::random_online(8, 8.0, 0.5, 4.0, s); },
+        alpha, seeds, /*nominal=*/true);
+    const double b = analysis::bkpq_energy_upper(alpha);
+    std::printf("| E5 | BKPQ nominal energy ratio | %.3f | %.1f | %s |\n", r,
+                b, check(r >= 1.0 && r <= b));
+  }
+  {  // E6 AVRQ(m) vs exact OPT(m)
+    double worst = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const QInstance inst = gen::random_online(8, 6.0, 0.5, 3.0, seed);
+      const QbssMultiRun run = avrq_m(inst, 3);
+      if (!validate_multi_run(inst, run).feasible) worst = -1.0;
+      const Energy opt = analysis::multi_fluid_optimal_energy(
+          clairvoyant_instance(inst), 3, alpha, 40);
+      worst = std::max(worst, run.energy(alpha) / opt);
+    }
+    const double b = analysis::avrq_m_energy_upper(alpha);
+    std::printf("| E6 | AVRQ(m=3) vs exact OPT(m) | %.3f | %.1f | %s |\n",
+                worst, b, check(worst >= 1.0 && worst <= b));
+  }
+  {  // E7 lower-bound games
+    const RatioPair l42 = lemma42_game_value(alpha);
+    std::printf("| E7 | Lemma 4.2 game value (speed) | %.4f | phi = %.4f | "
+                "%s |\n",
+                l42.speed, kPhi, check(std::fabs(l42.speed - kPhi) < 1e-6));
+    const RatioPair l43 = lemma43_game_value(alpha);
+    std::printf("| E7 | Lemma 4.3 game value (speed) | %.4f | 2 | %s |\n",
+                l43.speed, check(l43.speed >= 2.0 - 1e-4));
+    const double l44 = lemma44_speed_game_value();
+    std::printf("| E7 | Lemma 4.4 game value (speed) | %.4f | 4/3 | %s |\n",
+                l44, check(std::fabs(l44 - 4.0 / 3.0) < 1e-3));
+    const analysis::Measurement l45 = analysis::measure(
+        lemma45_nested_instance(1, 1e-9), avrq, 2.0);
+    std::printf("| E7 | Lemma 4.5 nested family (speed) | %.4f | >= 3 | %s "
+                "|\n",
+                l45.speed_ratio, check(l45.speed_ratio >= 3.0 - 1e-6));
+  }
+  {  // E8 rho table
+    const double r3 = analysis::rho3(2.0);
+    std::printf("| E8 | rho3(2) | %.4f | paper 2.76 | %s |\n", r3,
+                check(std::fabs(r3 - 2.76) < 0.01));
+    const double r1 = analysis::rho1(3.0);
+    std::printf("| E8 | rho1(3) | %.4f | paper 16.94 | %s |\n", r1,
+                check(std::fabs(r1 - 16.94) < 0.01));
+  }
+  {  // E13 OAQ sanity
+    const double r = worst_ratio(
+        oaq,
+        [](std::uint64_t s) { return gen::random_online(8, 8.0, 0.5, 4.0, s); },
+        alpha, seeds);
+    std::printf("| E13 | OAQ energy ratio | %.3f | < AVRQ UB %.1f | %s |\n",
+                r, analysis::avrq_energy_upper(alpha),
+                check(r >= 1.0 && r <= analysis::avrq_energy_upper(alpha)));
+  }
+  {  // E16 minimax anchors
+    const analysis::GameValue g =
+        analysis::single_job_game_value(0.5, 2.0, 128, 128);
+    std::printf("| E16 | full game speed value at c/w=1/2 | %.4f | 2 | %s "
+                "|\n",
+                g.speed, check(std::fabs(g.speed - 2.0) < 0.05));
+  }
+
+  std::printf("\n%s — %d failing rows.\n",
+              failures == 0 ? "All checks passed" : "REPRODUCTION BROKEN",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
