@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discrete.dir/bench_discrete.cpp.o"
+  "CMakeFiles/bench_discrete.dir/bench_discrete.cpp.o.d"
+  "bench_discrete"
+  "bench_discrete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discrete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

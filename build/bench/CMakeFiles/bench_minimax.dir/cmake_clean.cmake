@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimax.dir/bench_minimax.cpp.o"
+  "CMakeFiles/bench_minimax.dir/bench_minimax.cpp.o.d"
+  "bench_minimax"
+  "bench_minimax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

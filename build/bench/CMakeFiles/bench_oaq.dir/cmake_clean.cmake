@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oaq.dir/bench_oaq.cpp.o"
+  "CMakeFiles/bench_oaq.dir/bench_oaq.cpp.o.d"
+  "bench_oaq"
+  "bench_oaq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oaq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

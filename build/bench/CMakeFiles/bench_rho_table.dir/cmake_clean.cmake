@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rho_table.dir/bench_rho_table.cpp.o"
+  "CMakeFiles/bench_rho_table.dir/bench_rho_table.cpp.o.d"
+  "bench_rho_table"
+  "bench_rho_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rho_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

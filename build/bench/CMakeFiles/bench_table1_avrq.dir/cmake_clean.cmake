@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_avrq.dir/bench_table1_avrq.cpp.o"
+  "CMakeFiles/bench_table1_avrq.dir/bench_table1_avrq.cpp.o.d"
+  "bench_table1_avrq"
+  "bench_table1_avrq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_avrq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

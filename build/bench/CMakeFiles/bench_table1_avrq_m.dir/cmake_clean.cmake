@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_avrq_m.dir/bench_table1_avrq_m.cpp.o"
+  "CMakeFiles/bench_table1_avrq_m.dir/bench_table1_avrq_m.cpp.o.d"
+  "bench_table1_avrq_m"
+  "bench_table1_avrq_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_avrq_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_bkpq.dir/bench_table1_bkpq.cpp.o"
+  "CMakeFiles/bench_table1_bkpq.dir/bench_table1_bkpq.cpp.o.d"
+  "bench_table1_bkpq"
+  "bench_table1_bkpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bkpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

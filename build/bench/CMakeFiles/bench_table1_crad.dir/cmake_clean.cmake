@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_crad.dir/bench_table1_crad.cpp.o"
+  "CMakeFiles/bench_table1_crad.dir/bench_table1_crad.cpp.o.d"
+  "bench_table1_crad"
+  "bench_table1_crad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_crad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

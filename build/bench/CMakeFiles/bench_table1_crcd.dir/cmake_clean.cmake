@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_crcd.dir/bench_table1_crcd.cpp.o"
+  "CMakeFiles/bench_table1_crcd.dir/bench_table1_crcd.cpp.o.d"
+  "bench_table1_crcd"
+  "bench_table1_crcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_crcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_optimizer.dir/code_optimizer.cpp.o"
+  "CMakeFiles/code_optimizer.dir/code_optimizer.cpp.o.d"
+  "code_optimizer"
+  "code_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

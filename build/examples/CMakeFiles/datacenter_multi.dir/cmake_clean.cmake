@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_multi.dir/datacenter_multi.cpp.o"
+  "CMakeFiles/datacenter_multi.dir/datacenter_multi.cpp.o.d"
+  "datacenter_multi"
+  "datacenter_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_compression.dir/file_compression.cpp.o"
+  "CMakeFiles/file_compression.dir/file_compression.cpp.o.d"
+  "file_compression"
+  "file_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "src/analysis/CMakeFiles/qbss_analysis.dir/bounds.cpp.o" "gcc" "src/analysis/CMakeFiles/qbss_analysis.dir/bounds.cpp.o.d"
+  "/root/repo/src/analysis/fluid_opt.cpp" "src/analysis/CMakeFiles/qbss_analysis.dir/fluid_opt.cpp.o" "gcc" "src/analysis/CMakeFiles/qbss_analysis.dir/fluid_opt.cpp.o.d"
+  "/root/repo/src/analysis/minimax.cpp" "src/analysis/CMakeFiles/qbss_analysis.dir/minimax.cpp.o" "gcc" "src/analysis/CMakeFiles/qbss_analysis.dir/minimax.cpp.o.d"
+  "/root/repo/src/analysis/multi_fluid_opt.cpp" "src/analysis/CMakeFiles/qbss_analysis.dir/multi_fluid_opt.cpp.o" "gcc" "src/analysis/CMakeFiles/qbss_analysis.dir/multi_fluid_opt.cpp.o.d"
+  "/root/repo/src/analysis/ratio_harness.cpp" "src/analysis/CMakeFiles/qbss_analysis.dir/ratio_harness.cpp.o" "gcc" "src/analysis/CMakeFiles/qbss_analysis.dir/ratio_harness.cpp.o.d"
+  "/root/repo/src/analysis/rho.cpp" "src/analysis/CMakeFiles/qbss_analysis.dir/rho.cpp.o" "gcc" "src/analysis/CMakeFiles/qbss_analysis.dir/rho.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/qbss_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/qbss_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qbss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/qbss_scheduling.dir/DependInfo.cmake"
+  "/root/repo/build/src/qbss/CMakeFiles/qbss_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbss_analysis.dir/bounds.cpp.o"
+  "CMakeFiles/qbss_analysis.dir/bounds.cpp.o.d"
+  "CMakeFiles/qbss_analysis.dir/fluid_opt.cpp.o"
+  "CMakeFiles/qbss_analysis.dir/fluid_opt.cpp.o.d"
+  "CMakeFiles/qbss_analysis.dir/minimax.cpp.o"
+  "CMakeFiles/qbss_analysis.dir/minimax.cpp.o.d"
+  "CMakeFiles/qbss_analysis.dir/multi_fluid_opt.cpp.o"
+  "CMakeFiles/qbss_analysis.dir/multi_fluid_opt.cpp.o.d"
+  "CMakeFiles/qbss_analysis.dir/ratio_harness.cpp.o"
+  "CMakeFiles/qbss_analysis.dir/ratio_harness.cpp.o.d"
+  "CMakeFiles/qbss_analysis.dir/rho.cpp.o"
+  "CMakeFiles/qbss_analysis.dir/rho.cpp.o.d"
+  "CMakeFiles/qbss_analysis.dir/stats.cpp.o"
+  "CMakeFiles/qbss_analysis.dir/stats.cpp.o.d"
+  "libqbss_analysis.a"
+  "libqbss_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbss_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

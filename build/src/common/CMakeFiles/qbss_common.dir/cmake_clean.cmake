@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbss_common.dir/piecewise.cpp.o"
+  "CMakeFiles/qbss_common.dir/piecewise.cpp.o.d"
+  "libqbss_common.a"
+  "libqbss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

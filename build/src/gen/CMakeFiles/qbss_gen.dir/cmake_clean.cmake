@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbss_gen.dir/compression.cpp.o"
+  "CMakeFiles/qbss_gen.dir/compression.cpp.o.d"
+  "CMakeFiles/qbss_gen.dir/nested.cpp.o"
+  "CMakeFiles/qbss_gen.dir/nested.cpp.o.d"
+  "CMakeFiles/qbss_gen.dir/optimizer.cpp.o"
+  "CMakeFiles/qbss_gen.dir/optimizer.cpp.o.d"
+  "CMakeFiles/qbss_gen.dir/random_instances.cpp.o"
+  "CMakeFiles/qbss_gen.dir/random_instances.cpp.o.d"
+  "libqbss_gen.a"
+  "libqbss_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbss_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

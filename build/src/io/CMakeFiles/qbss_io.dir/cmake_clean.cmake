@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbss_io.dir/format.cpp.o"
+  "CMakeFiles/qbss_io.dir/format.cpp.o.d"
+  "CMakeFiles/qbss_io.dir/json.cpp.o"
+  "CMakeFiles/qbss_io.dir/json.cpp.o.d"
+  "CMakeFiles/qbss_io.dir/render.cpp.o"
+  "CMakeFiles/qbss_io.dir/render.cpp.o.d"
+  "libqbss_io.a"
+  "libqbss_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbss_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

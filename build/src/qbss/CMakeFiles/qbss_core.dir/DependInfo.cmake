@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qbss/adversary.cpp" "src/qbss/CMakeFiles/qbss_core.dir/adversary.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/adversary.cpp.o.d"
+  "/root/repo/src/qbss/avrq.cpp" "src/qbss/CMakeFiles/qbss_core.dir/avrq.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/avrq.cpp.o.d"
+  "/root/repo/src/qbss/avrq_m.cpp" "src/qbss/CMakeFiles/qbss_core.dir/avrq_m.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/avrq_m.cpp.o.d"
+  "/root/repo/src/qbss/avrq_m_nonmig.cpp" "src/qbss/CMakeFiles/qbss_core.dir/avrq_m_nonmig.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/avrq_m_nonmig.cpp.o.d"
+  "/root/repo/src/qbss/bkpq.cpp" "src/qbss/CMakeFiles/qbss_core.dir/bkpq.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/bkpq.cpp.o.d"
+  "/root/repo/src/qbss/clairvoyant.cpp" "src/qbss/CMakeFiles/qbss_core.dir/clairvoyant.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/clairvoyant.cpp.o.d"
+  "/root/repo/src/qbss/crad.cpp" "src/qbss/CMakeFiles/qbss_core.dir/crad.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/crad.cpp.o.d"
+  "/root/repo/src/qbss/crcd.cpp" "src/qbss/CMakeFiles/qbss_core.dir/crcd.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/crcd.cpp.o.d"
+  "/root/repo/src/qbss/crp2d.cpp" "src/qbss/CMakeFiles/qbss_core.dir/crp2d.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/crp2d.cpp.o.d"
+  "/root/repo/src/qbss/forecast.cpp" "src/qbss/CMakeFiles/qbss_core.dir/forecast.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/forecast.cpp.o.d"
+  "/root/repo/src/qbss/generic.cpp" "src/qbss/CMakeFiles/qbss_core.dir/generic.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/generic.cpp.o.d"
+  "/root/repo/src/qbss/oaq.cpp" "src/qbss/CMakeFiles/qbss_core.dir/oaq.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/oaq.cpp.o.d"
+  "/root/repo/src/qbss/oracle.cpp" "src/qbss/CMakeFiles/qbss_core.dir/oracle.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/qbss/randomized.cpp" "src/qbss/CMakeFiles/qbss_core.dir/randomized.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/randomized.cpp.o.d"
+  "/root/repo/src/qbss/run.cpp" "src/qbss/CMakeFiles/qbss_core.dir/run.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/run.cpp.o.d"
+  "/root/repo/src/qbss/transform.cpp" "src/qbss/CMakeFiles/qbss_core.dir/transform.cpp.o" "gcc" "src/qbss/CMakeFiles/qbss_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qbss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/qbss_scheduling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

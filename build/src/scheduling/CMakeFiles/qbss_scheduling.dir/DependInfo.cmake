@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduling/avr.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/avr.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/avr.cpp.o.d"
+  "/root/repo/src/scheduling/bkp.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/bkp.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/bkp.cpp.o.d"
+  "/root/repo/src/scheduling/discrete.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/discrete.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/discrete.cpp.o.d"
+  "/root/repo/src/scheduling/edf.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/edf.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/edf.cpp.o.d"
+  "/root/repo/src/scheduling/multi/avr_m.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/avr_m.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/avr_m.cpp.o.d"
+  "/root/repo/src/scheduling/multi/machine_schedule.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/machine_schedule.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/machine_schedule.cpp.o.d"
+  "/root/repo/src/scheduling/multi/mcnaughton.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/mcnaughton.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/mcnaughton.cpp.o.d"
+  "/root/repo/src/scheduling/multi/nonmigratory.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/nonmigratory.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/nonmigratory.cpp.o.d"
+  "/root/repo/src/scheduling/multi/opt_bound.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/opt_bound.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/multi/opt_bound.cpp.o.d"
+  "/root/repo/src/scheduling/oa.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/oa.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/oa.cpp.o.d"
+  "/root/repo/src/scheduling/schedule.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/schedule.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/schedule.cpp.o.d"
+  "/root/repo/src/scheduling/temperature.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/temperature.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/temperature.cpp.o.d"
+  "/root/repo/src/scheduling/yds.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/yds.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/yds.cpp.o.d"
+  "/root/repo/src/scheduling/yds_common.cpp" "src/scheduling/CMakeFiles/qbss_scheduling.dir/yds_common.cpp.o" "gcc" "src/scheduling/CMakeFiles/qbss_scheduling.dir/yds_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qbss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbss_scheduling.dir/avr.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/avr.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/bkp.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/bkp.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/discrete.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/discrete.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/edf.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/edf.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/multi/avr_m.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/multi/avr_m.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/multi/machine_schedule.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/multi/machine_schedule.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/multi/mcnaughton.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/multi/mcnaughton.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/multi/nonmigratory.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/multi/nonmigratory.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/multi/opt_bound.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/multi/opt_bound.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/oa.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/oa.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/schedule.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/schedule.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/temperature.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/temperature.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/yds.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/yds.cpp.o.d"
+  "CMakeFiles/qbss_scheduling.dir/yds_common.cpp.o"
+  "CMakeFiles/qbss_scheduling.dir/yds_common.cpp.o.d"
+  "libqbss_scheduling.a"
+  "libqbss_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbss_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

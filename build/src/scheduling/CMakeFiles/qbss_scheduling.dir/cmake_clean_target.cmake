@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqbss_scheduling.a"
+)

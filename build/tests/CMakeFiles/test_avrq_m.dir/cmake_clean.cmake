@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avrq_m.dir/test_avrq_m.cpp.o"
+  "CMakeFiles/test_avrq_m.dir/test_avrq_m.cpp.o.d"
+  "test_avrq_m"
+  "test_avrq_m.pdb"
+  "test_avrq_m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avrq_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounds_rho.dir/test_bounds_rho.cpp.o"
+  "CMakeFiles/test_bounds_rho.dir/test_bounds_rho.cpp.o.d"
+  "test_bounds_rho"
+  "test_bounds_rho.pdb"
+  "test_bounds_rho[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounds_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

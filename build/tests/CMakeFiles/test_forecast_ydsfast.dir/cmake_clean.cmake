@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forecast_ydsfast.dir/test_forecast_ydsfast.cpp.o"
+  "CMakeFiles/test_forecast_ydsfast.dir/test_forecast_ydsfast.cpp.o.d"
+  "test_forecast_ydsfast"
+  "test_forecast_ydsfast.pdb"
+  "test_forecast_ydsfast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forecast_ydsfast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimax_stats.dir/test_minimax_stats.cpp.o"
+  "CMakeFiles/test_minimax_stats.dir/test_minimax_stats.cpp.o.d"
+  "test_minimax_stats"
+  "test_minimax_stats.pdb"
+  "test_minimax_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimax_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_multi.cpp" "tests/CMakeFiles/test_multi.dir/test_multi.cpp.o" "gcc" "tests/CMakeFiles/test_multi.dir/test_multi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qbss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/qbss_scheduling.dir/DependInfo.cmake"
+  "/root/repo/build/src/qbss/CMakeFiles/qbss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/qbss_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/qbss_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/qbss_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_opt.dir/test_multi_opt.cpp.o"
+  "CMakeFiles/test_multi_opt.dir/test_multi_opt.cpp.o.d"
+  "test_multi_opt"
+  "test_multi_opt.pdb"
+  "test_multi_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonmigratory.dir/test_nonmigratory.cpp.o"
+  "CMakeFiles/test_nonmigratory.dir/test_nonmigratory.cpp.o.d"
+  "test_nonmigratory"
+  "test_nonmigratory.pdb"
+  "test_nonmigratory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonmigratory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline_qbss.dir/test_offline_qbss.cpp.o"
+  "CMakeFiles/test_offline_qbss.dir/test_offline_qbss.cpp.o.d"
+  "test_offline_qbss"
+  "test_offline_qbss.pdb"
+  "test_offline_qbss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline_qbss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_classical.dir/test_online_classical.cpp.o"
+  "CMakeFiles/test_online_classical.dir/test_online_classical.cpp.o.d"
+  "test_online_classical"
+  "test_online_classical.pdb"
+  "test_online_classical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_qbss.dir/test_online_qbss.cpp.o"
+  "CMakeFiles/test_online_qbss.dir/test_online_qbss.cpp.o.d"
+  "test_online_qbss"
+  "test_online_qbss.pdb"
+  "test_online_qbss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_qbss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

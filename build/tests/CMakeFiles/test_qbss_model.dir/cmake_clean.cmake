@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qbss_model.dir/test_qbss_model.cpp.o"
+  "CMakeFiles/test_qbss_model.dir/test_qbss_model.cpp.o.d"
+  "test_qbss_model"
+  "test_qbss_model.pdb"
+  "test_qbss_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qbss_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression_snapshots.dir/test_regression_snapshots.cpp.o"
+  "CMakeFiles/test_regression_snapshots.dir/test_regression_snapshots.cpp.o.d"
+  "test_regression_snapshots"
+  "test_regression_snapshots.pdb"
+  "test_regression_snapshots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validator_mutations.dir/test_validator_mutations.cpp.o"
+  "CMakeFiles/test_validator_mutations.dir/test_validator_mutations.cpp.o.d"
+  "test_validator_mutations"
+  "test_validator_mutations.pdb"
+  "test_validator_mutations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validator_mutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

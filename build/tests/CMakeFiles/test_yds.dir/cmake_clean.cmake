@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yds.dir/test_yds.cpp.o"
+  "CMakeFiles/test_yds.dir/test_yds.cpp.o.d"
+  "test_yds"
+  "test_yds.pdb"
+  "test_yds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_piecewise[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_yds[1]_include.cmake")
+include("/root/repo/build/tests/test_online_classical[1]_include.cmake")
+include("/root/repo/build/tests/test_multi[1]_include.cmake")
+include("/root/repo/build/tests/test_qbss_model[1]_include.cmake")
+include("/root/repo/build/tests/test_offline_qbss[1]_include.cmake")
+include("/root/repo/build/tests/test_online_qbss[1]_include.cmake")
+include("/root/repo/build/tests/test_avrq_m[1]_include.cmake")
+include("/root/repo/build/tests/test_adversary_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_bounds_rho[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_nonmigratory[1]_include.cmake")
+include("/root/repo/build/tests/test_randomized[1]_include.cmake")
+include("/root/repo/build/tests/test_render[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_validator_mutations[1]_include.cmake")
+include("/root/repo/build/tests/test_discrete[1]_include.cmake")
+include("/root/repo/build/tests/test_minimax_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_forecast_ydsfast[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_scale[1]_include.cmake")
+include("/root/repo/build/tests/test_regression_snapshots[1]_include.cmake")
+include("/root/repo/build/tests/test_temperature[1]_include.cmake")
+include("/root/repo/build/tests/test_contracts[1]_include.cmake")

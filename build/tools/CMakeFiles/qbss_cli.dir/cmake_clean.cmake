@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbss_cli.dir/qbss_cli.cpp.o"
+  "CMakeFiles/qbss_cli.dir/qbss_cli.cpp.o.d"
+  "qbss"
+  "qbss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

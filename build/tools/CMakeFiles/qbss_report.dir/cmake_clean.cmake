@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbss_report.dir/qbss_report.cpp.o"
+  "CMakeFiles/qbss_report.dir/qbss_report.cpp.o.d"
+  "qbss-report"
+  "qbss-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbss_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_gen_run_pipeline "sh" "-c" "/root/repo/build/tools/qbss gen --family mixed --n 10 --seed 1 | /root/repo/build/tools/qbss run --algo bkpq --alpha 2.5")
+set_tests_properties(cli_gen_run_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats_pipeline "sh" "-c" "/root/repo/build/tools/qbss gen --family optimizer --n 10 --seed 2 | /root/repo/build/tools/qbss stats")
+set_tests_properties(cli_stats_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bounds "/root/repo/build/tools/qbss" "bounds" "--alpha" "2.5")
+set_tests_properties(cli_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_input "sh" "-c" "echo 'not numbers' | /root/repo/build/tools/qbss run --algo avrq; test \$? -eq 1")
+set_tests_properties(cli_rejects_bad_input PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(report_all_rows_pass "/root/repo/build/tools/qbss-report")
+set_tests_properties(report_all_rows_pass PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
