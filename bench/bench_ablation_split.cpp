@@ -50,16 +50,17 @@ int main() {
     const gen::LoadProfile profiles[3] = {gen::LoadProfile{}, compressible,
                                           incompressible};
     for (int f = 0; f < 3; ++f) {
-      for (std::uint64_t seed = 0; seed < 20; ++seed) {
-        const QInstance inst =
-            gen::random_online(10, 8.0, 0.5, 4.0, seed, profiles[f]);
-        const analysis::Measurement m = analysis::measure(
-            inst,
-            [&](const QInstance& i) {
-              return avr_with_policies(i, QueryPolicy::always(),
-                                       SplitPolicy::fraction(x));
-            },
-            alpha);
+      for (const analysis::Measurement& m : analysis::measure_seeds(
+               [&](std::uint64_t seed) {
+                 return gen::random_online(10, 8.0, 0.5, 4.0, seed,
+                                           profiles[f]);
+               },
+               20,
+               [&](const QInstance& i) {
+                 return avr_with_policies(i, QueryPolicy::always(),
+                                          SplitPolicy::fraction(x));
+               },
+               alpha, &clairvoyant_cache())) {
         if (!m.feasible) return 1;
         worst[f] = std::max(worst[f], m.energy_ratio);
       }

@@ -39,23 +39,25 @@ int main() {
   rule(60);
   const double thresholds[] = {0.0, 0.2, 0.4, 1.0 / kPhi, 0.8, 1.0};
   for (const double t : thresholds) {
-    double worst_c = 0.0;
-    double worst_i = 0.0;
-    for (std::uint64_t seed = 0; seed < 15; ++seed) {
-      const auto algo = [&](const QInstance& i) {
-        return bkp_with_policies(i, QueryPolicy::threshold(t),
-                                 SplitPolicy::half());
-      };
-      const analysis::Measurement mc = analysis::measure(
-          gen::random_online(10, 8.0, 0.5, 4.0, seed, compressible), algo,
-          alpha);
-      const analysis::Measurement mi = analysis::measure(
-          gen::random_online(10, 8.0, 0.5, 4.0, seed, incompressible), algo,
-          alpha);
-      if (!mc.feasible || !mi.feasible) return 1;
-      worst_c = std::max(worst_c, mc.nominal_energy_ratio);
-      worst_i = std::max(worst_i, mi.nominal_energy_ratio);
-    }
+    const auto algo = [&](const QInstance& i) {
+      return bkp_with_policies(i, QueryPolicy::threshold(t),
+                               SplitPolicy::half());
+    };
+    const auto worst_nominal = [&](const gen::LoadProfile& profile) {
+      double worst = -1.0;
+      for (const analysis::Measurement& m : analysis::measure_seeds(
+               [&](std::uint64_t seed) {
+                 return gen::random_online(10, 8.0, 0.5, 4.0, seed, profile);
+               },
+               15, algo, alpha, &clairvoyant_cache())) {
+        if (!m.feasible) return -1.0;
+        worst = std::max(worst, m.nominal_energy_ratio);
+      }
+      return worst;
+    };
+    const double worst_c = worst_nominal(compressible);
+    const double worst_i = worst_nominal(incompressible);
+    if (worst_c < 0.0 || worst_i < 0.0) return 1;
     const char* tag = std::fabs(t - 1.0 / kPhi) < 1e-9 ? "  <- 1/phi" : "";
     std::printf("%-12.4f %16.4f %16.4f %12.4f%s\n", t, worst_c, worst_i,
                 std::max(worst_c, worst_i), tag);

@@ -6,6 +6,11 @@
 // BKP/BKPQ pay O(n^3) for the profile max, AVR(m) scales with m.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/ratio_harness.hpp"
 #include "gen/random_instances.hpp"
 #include "qbss/avrq.hpp"
 #include "qbss/avrq_m.hpp"
@@ -37,7 +42,38 @@ void BM_Yds(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_Yds)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+BENCHMARK(BM_Yds)->RangeMultiplier(2)->Range(8, 2048)->Complexity();
+
+void BM_YdsReference(benchmark::State& state) {
+  // The direct-scan oracle kept for differential testing; small n only —
+  // its per-round candidate scan pays an extra factor n over BM_Yds.
+  const auto inst = classical_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduling::yds_reference(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_YdsReference)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_MeasureSweep(benchmark::State& state) {
+  // The parallel ratio-sweep harness end to end: AVRQ across seeds vs the
+  // memoized clairvoyant optimum (QBSS_THREADS controls the fan-out).
+  const int seeds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    analysis::ClairvoyantCache cache;
+    benchmark::DoNotOptimize(analysis::sweep_family(
+        [](std::uint64_t s) {
+          return gen::random_online(32, 10.0, 0.5, 4.0, s);
+        },
+        seeds, core::avrq, 3.0, &cache));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MeasureSweep)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->UseRealTime()
+    ->Complexity();
 
 void BM_YdsCommonRelease(benchmark::State& state) {
   // The O(n log n) specialization vs BM_Yds's general O(n^3)-ish solver.
@@ -154,4 +190,27 @@ BENCHMARK(BM_Clairvoyant)->RangeMultiplier(2)->Range(8, 128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_perf.json
+// (JSON) so every run leaves a machine-readable trace of the perf
+// trajectory; an explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_perf.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -40,10 +40,9 @@ int main() {
     for (const Family& family : families) {
       analysis::Aggregate agg;
       double max_nominal_speed = 0.0;
-      for (std::uint64_t seed = 0;
-           seed < static_cast<std::uint64_t>(family.seeds); ++seed) {
-        const analysis::Measurement m =
-            analysis::measure(family.make(seed), core::bkpq, alpha);
+      for (const analysis::Measurement& m : analysis::measure_seeds(
+               family.make, family.seeds, core::bkpq, alpha,
+               &clairvoyant_cache())) {
         agg.absorb(m);
         max_nominal_speed = std::max(max_nominal_speed, m.nominal_speed_ratio);
       }

@@ -1,14 +1,18 @@
 #include "analysis/ratio_harness.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "common/parallel_for.hpp"
 #include "qbss/clairvoyant.hpp"
 
 namespace qbss::analysis {
 
-Measurement measure(const core::QInstance& instance,
-                    const SingleAlgorithm& algorithm, double alpha) {
-  const scheduling::Schedule opt = core::clairvoyant_schedule(instance);
+namespace {
+
+Measurement measure_against(const core::QInstance& instance,
+                            const SingleAlgorithm& algorithm, double alpha,
+                            const scheduling::Schedule& opt) {
   const Energy opt_energy = opt.energy(alpha);
   const Speed opt_speed = opt.max_speed();
   QBSS_EXPECTS(opt_energy > 0.0 && opt_speed > 0.0);
@@ -20,9 +24,95 @@ Measurement measure(const core::QInstance& instance,
   m.nominal_energy_ratio = run.nominal_energy(alpha) / opt_energy;
   m.speed_ratio = run.max_speed() / opt_speed;
   m.nominal_speed_ratio = run.nominal_max_speed() / opt_speed;
-  m.feasible =
-      run.feasible && core::validate_run(instance, run).feasible;
+  m.feasible = run.feasible && core::validate_run(instance, run).feasible;
   return m;
+}
+
+/// FNV-1a over the five doubles of every job — content hash for the memo.
+std::uint64_t content_hash(const core::QInstance& instance) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](double v) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (bits >> (8 * byte)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const core::QJob& j : instance.jobs()) {
+    mix(j.release);
+    mix(j.deadline);
+    mix(j.query_cost);
+    mix(j.upper_bound);
+    mix(j.exact_load);
+  }
+  return h;
+}
+
+bool same_jobs(const std::vector<core::QJob>& a,
+               std::span<const core::QJob> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
+
+Measurement measure(const core::QInstance& instance,
+                    const SingleAlgorithm& algorithm, double alpha) {
+  const scheduling::Schedule opt = core::clairvoyant_schedule(instance);
+  return measure_against(instance, algorithm, alpha, opt);
+}
+
+std::shared_ptr<const scheduling::Schedule> ClairvoyantCache::schedule(
+    const core::QInstance& instance) {
+  const std::uint64_t key = content_hash(instance);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = buckets_.find(key); it != buckets_.end()) {
+      for (const Entry& e : it->second) {
+        if (same_jobs(e.jobs, instance.jobs())) {
+          ++hits_;
+          return e.schedule;
+        }
+      }
+    }
+  }
+
+  // Solve outside the lock; a racing thread may solve the same instance,
+  // in which case the first insert wins (the solver is deterministic, so
+  // both schedules are identical anyway).
+  auto solved = std::make_shared<const scheduling::Schedule>(
+      core::clairvoyant_schedule(instance));
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry>& bucket = buckets_[key];
+  for (const Entry& e : bucket) {
+    if (same_jobs(e.jobs, instance.jobs())) {
+      ++hits_;
+      return e.schedule;
+    }
+  }
+  bucket.push_back(Entry{{instance.jobs().begin(), instance.jobs().end()},
+                         std::move(solved)});
+  return bucket.back().schedule;
+}
+
+std::size_t ClairvoyantCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : buckets_) total += bucket.size();
+  return total;
+}
+
+std::size_t ClairvoyantCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+Measurement measure_cached(const core::QInstance& instance,
+                           const SingleAlgorithm& algorithm, double alpha,
+                           ClairvoyantCache& cache) {
+  const std::shared_ptr<const scheduling::Schedule> opt =
+      cache.schedule(instance);
+  return measure_against(instance, algorithm, alpha, *opt);
 }
 
 void Aggregate::absorb(const Measurement& m) {
@@ -34,6 +124,35 @@ void Aggregate::absorb(const Measurement& m) {
       std::max(max_nominal_energy_ratio, m.nominal_energy_ratio);
   max_speed_ratio = std::max(max_speed_ratio, m.speed_ratio);
   sum_speed_ratio += m.speed_ratio;
+}
+
+std::vector<Measurement> measure_seeds(
+    const std::function<core::QInstance(std::uint64_t)>& make, int seeds,
+    const SingleAlgorithm& algorithm, double alpha, ClairvoyantCache* cache) {
+  QBSS_EXPECTS(seeds >= 0);
+  std::vector<Measurement> results(static_cast<std::size_t>(seeds));
+  common::parallel_for(
+      results.size(), [&](std::size_t seed) {
+        const core::QInstance instance =
+            make(static_cast<std::uint64_t>(seed));
+        results[seed] =
+            cache != nullptr
+                ? measure_cached(instance, algorithm, alpha, *cache)
+                : measure(instance, algorithm, alpha);
+      });
+  return results;
+}
+
+Aggregate sweep_family(
+    const std::function<core::QInstance(std::uint64_t)>& make, int seeds,
+    const SingleAlgorithm& algorithm, double alpha, ClairvoyantCache* cache) {
+  // Seed-order merge: identical to the serial loop for any thread count.
+  Aggregate agg;
+  for (const Measurement& m : measure_seeds(make, seeds, algorithm, alpha,
+                                            cache)) {
+    agg.absorb(m);
+  }
+  return agg;
 }
 
 }  // namespace qbss::analysis

@@ -2,7 +2,12 @@
 // optimum — the workhorse behind every Table 1 bench and the bound tests.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "qbss/run.hpp"
 
@@ -32,6 +37,41 @@ struct Measurement {
                                   const SingleAlgorithm& algorithm,
                                   double alpha);
 
+/// Content-addressed memo of clairvoyant schedules, so sweeping the same
+/// family at several alphas (or against several algorithms) solves YDS
+/// once per instance instead of once per (instance, alpha, algorithm).
+/// Thread-safe; the solver runs outside the lock, so concurrent misses on
+/// *different* instances don't serialize.
+class ClairvoyantCache {
+ public:
+  /// The YDS optimum of `instance` (solved on first request).
+  [[nodiscard]] std::shared_ptr<const scheduling::Schedule> schedule(
+      const core::QInstance& instance);
+
+  /// Distinct instances solved so far.
+  [[nodiscard]] std::size_t size() const;
+  /// Requests answered without re-solving.
+  [[nodiscard]] std::size_t hits() const;
+
+ private:
+  struct Entry {
+    std::vector<core::QJob> jobs;  // collision check: full job content
+    std::shared_ptr<const scheduling::Schedule> schedule;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  std::size_t hits_ = 0;
+};
+
+/// `measure`, but the clairvoyant optimum comes from (and is installed
+/// into) `cache`. Identical result to `measure` — the solver is
+/// deterministic — just cheaper on repeat instances.
+[[nodiscard]] Measurement measure_cached(const core::QInstance& instance,
+                                         const SingleAlgorithm& algorithm,
+                                         double alpha,
+                                         ClairvoyantCache& cache);
+
 /// Worst/average ratios across a family of instances.
 struct Aggregate {
   int count = 0;
@@ -50,5 +90,21 @@ struct Aggregate {
     return count > 0 ? sum_speed_ratio / count : 0.0;
   }
 };
+
+/// Measures `algorithm` on make(seed) for every seed in [0, seeds),
+/// fanning the seeds out across worker threads (common::parallel_for,
+/// honoring QBSS_THREADS). Returns the measurements in seed order —
+/// bit-identical to a serial loop for any thread count — for benches with
+/// custom reductions. `cache` (optional) memoizes the clairvoyant optima.
+[[nodiscard]] std::vector<Measurement> measure_seeds(
+    const std::function<core::QInstance(std::uint64_t)>& make, int seeds,
+    const SingleAlgorithm& algorithm, double alpha,
+    ClairvoyantCache* cache = nullptr);
+
+/// measure_seeds absorbed into an Aggregate (in seed order).
+[[nodiscard]] Aggregate sweep_family(
+    const std::function<core::QInstance(std::uint64_t)>& make, int seeds,
+    const SingleAlgorithm& algorithm, double alpha,
+    ClairvoyantCache* cache = nullptr);
 
 }  // namespace qbss::analysis

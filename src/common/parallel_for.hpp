@@ -1,0 +1,31 @@
+// Deterministic fan-out for embarrassingly parallel sweeps.
+//
+// A minimal std::thread pool-per-call with an atomic work index — no work
+// stealing, no scheduler state that could leak between calls. Callers
+// write results into disjoint per-index slots and merge them in index
+// order afterwards, so the observable output is identical for any thread
+// count (the property the bench harness relies on: QBSS_THREADS=4 must
+// print byte-identical tables to QBSS_THREADS=1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace qbss::common {
+
+/// Worker threads a sweep should use: the `QBSS_THREADS` environment
+/// variable when set (clamped to >= 1), otherwise
+/// std::thread::hardware_concurrency() (>= 1).
+[[nodiscard]] std::size_t worker_count();
+
+/// Runs body(i) exactly once for every i in [0, count), fanned out over
+/// `threads` workers (the calling thread is one of them). `threads` == 0
+/// means worker_count(). Bodies must not touch shared mutable state except
+/// through their own index's slot. The first exception thrown by any body
+/// is rethrown on the calling thread after all workers join; unstarted
+/// indices are abandoned once a body has thrown.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace qbss::common

@@ -19,9 +19,9 @@ struct Critical {
   std::vector<JobId> contained;
 };
 
-Critical find_critical(const Instance& instance,
-                       const std::vector<bool>& done,
-                       const IntervalSet& used) {
+Critical find_critical_reference(const Instance& instance,
+                                 const std::vector<bool>& done,
+                                 const IntervalSet& used) {
   std::vector<Time> starts;
   std::vector<Time> ends;
   for (std::size_t i = 0; i < instance.size(); ++i) {
@@ -65,9 +65,129 @@ Critical find_critical(const Instance& instance,
   return best;
 }
 
-}  // namespace
+/// Reusable buffers for the event-grid critical search, so the per-round
+/// allocations don't dominate once the scan itself is O(1) per candidate.
+struct CriticalWorkspace {
+  std::vector<Time> starts;          // distinct releases of remaining jobs
+  std::vector<Time> ends;            // distinct deadlines of remaining jobs
+  std::vector<std::size_t> by_release;  // remaining jobs, release-descending
+  std::vector<Work> work_at_rank;    // work keyed by deadline rank
+  std::vector<Work> prefix;          // prefix sums of work_at_rank
+  std::vector<Time> used_at_start;   // used-measure of (-inf, t] per start
+  std::vector<Time> used_at_end;     // same per end
+};
 
-Schedule yds(const Instance& instance) {
+/// Cumulative occupancy sweep: out[k] = |used ∩ (-inf, times[k]]| for the
+/// ascending `times`. One pass over the sorted disjoint members.
+void cumulative_used(const IntervalSet& used, const std::vector<Time>& times,
+                     std::vector<Time>& out) {
+  out.assign(times.size(), 0.0);
+  const auto& members = used.members();
+  std::size_t m = 0;
+  Time before = 0.0;  // total length of members fully left of times[k]
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    const Time t = times[k];
+    while (m < members.size() && members[m].end <= t) {
+      before += members[m].length();
+      ++m;
+    }
+    Time partial = 0.0;
+    if (m < members.size() && members[m].begin < t) {
+      partial = t - members[m].begin;
+    }
+    out[k] = before + partial;
+  }
+}
+
+/// Event-grid critical search: O(n log n + S·E) per round (S distinct
+/// releases, E distinct deadlines) instead of the reference's O(S·E·n).
+/// Containment work is a prefix sum over deadline ranks of the jobs whose
+/// release clears the candidate start; occupancy is a cumulative sweep of
+/// the disjoint `used` members, so each candidate costs O(1).
+Critical find_critical(const Instance& instance,
+                       const std::vector<bool>& done, const IntervalSet& used,
+                       CriticalWorkspace& ws) {
+  ws.starts.clear();
+  ws.ends.clear();
+  ws.by_release.clear();
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (done[i]) continue;
+    ws.starts.push_back(instance.jobs()[i].release);
+    ws.ends.push_back(instance.jobs()[i].deadline);
+    ws.by_release.push_back(i);
+  }
+  std::sort(ws.starts.begin(), ws.starts.end());
+  ws.starts.erase(std::unique(ws.starts.begin(), ws.starts.end()),
+                  ws.starts.end());
+  std::sort(ws.ends.begin(), ws.ends.end());
+  ws.ends.erase(std::unique(ws.ends.begin(), ws.ends.end()), ws.ends.end());
+  std::sort(ws.by_release.begin(), ws.by_release.end(),
+            [&](std::size_t a, std::size_t b) {
+              return instance.jobs()[a].release > instance.jobs()[b].release;
+            });
+
+  cumulative_used(used, ws.starts, ws.used_at_start);
+  cumulative_used(used, ws.ends, ws.used_at_end);
+
+  ws.work_at_rank.assign(ws.ends.size(), 0.0);
+  ws.prefix.assign(ws.ends.size(), 0.0);
+
+  Critical best;
+  std::size_t next = 0;  // cursor into by_release
+  // Sweep candidate starts from the right: each remaining job enters the
+  // deadline-rank histogram exactly once, when t1 drops to its release.
+  for (std::size_t si = ws.starts.size(); si-- > 0;) {
+    const Time t1 = ws.starts[si];
+    while (next < ws.by_release.size() &&
+           instance.jobs()[ws.by_release[next]].release >= t1) {
+      const ClassicalJob& j = instance.jobs()[ws.by_release[next]];
+      const std::size_t rank = static_cast<std::size_t>(
+          std::lower_bound(ws.ends.begin(), ws.ends.end(), j.deadline) -
+          ws.ends.begin());
+      ws.work_at_rank[rank] += j.work;
+      ++next;
+    }
+    Work running = 0.0;
+    for (std::size_t ej = 0; ej < ws.ends.size(); ++ej) {
+      running += ws.work_at_rank[ej];
+      ws.prefix[ej] = running;
+    }
+    for (std::size_t ej = 0; ej < ws.ends.size(); ++ej) {
+      const Time t2 = ws.ends[ej];
+      if (t2 <= t1) continue;
+      const Work inside = ws.prefix[ej];
+      if (inside <= 0.0) continue;  // no (positive-work) job contained
+      const Time avail =
+          (t2 - t1) - (ws.used_at_end[ej] - ws.used_at_start[si]);
+      // Windows of remaining jobs always retain free time (otherwise an
+      // earlier round would not have been maximal); guard regardless.
+      QBSS_ENSURES(avail > 0.0);
+      const double intensity = inside / avail;
+      // Ties resolve to the lexicographically smallest (t1, t2), matching
+      // the reference scan order.
+      if (intensity > best.intensity ||
+          (intensity == best.intensity &&
+           (t1 < best.span.begin ||
+            (t1 == best.span.begin && t2 < best.span.end)))) {
+        best.span = {t1, t2};
+        best.intensity = intensity;
+      }
+    }
+  }
+
+  // Materialize the contained set only for the winner (job-index order,
+  // like the reference, so the EDF sub-instance is identical).
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    if (done[i]) continue;
+    if (best.span.covers(instance.jobs()[i].window())) {
+      best.contained.push_back(static_cast<JobId>(i));
+    }
+  }
+  return best;
+}
+
+template <typename FindCritical>
+Schedule yds_peel(const Instance& instance, FindCritical&& find) {
   const std::size_t n = instance.size();
   std::vector<bool> done(n, false);
   IntervalSet used;
@@ -83,7 +203,7 @@ Schedule yds(const Instance& instance) {
   }
 
   while (left > 0) {
-    const Critical crit = find_critical(instance, done, used);
+    const Critical crit = find(instance, done, used);
     QBSS_ENSURES(!crit.contained.empty());
 
     // Free slots of the critical interval, to run at the critical speed.
@@ -116,6 +236,21 @@ Schedule yds(const Instance& instance) {
   }
 
   return std::move(builder).build();
+}
+
+}  // namespace
+
+Schedule yds(const Instance& instance) {
+  CriticalWorkspace ws;
+  return yds_peel(instance,
+                  [&ws](const Instance& inst, const std::vector<bool>& done,
+                        const IntervalSet& used) {
+                    return find_critical(inst, done, used, ws);
+                  });
+}
+
+Schedule yds_reference(const Instance& instance) {
+  return yds_peel(instance, find_critical_reference);
 }
 
 StepFunction yds_profile(const Instance& instance) {

@@ -21,8 +21,17 @@
 namespace qbss::scheduling {
 
 /// Computes the energy-optimal preemptive single-machine schedule.
+/// Fast path: each critical-interval round scans the event grid with
+/// prefix-summed contained work and a cumulative occupancy sweep, so a
+/// round costs O(n log n + S·E) for S distinct releases and E distinct
+/// deadlines (the reference pays another factor n per candidate).
 /// Precondition: instance jobs are valid (enforced by Instance).
 [[nodiscard]] Schedule yds(const Instance& instance);
+
+/// The original direct-scan solver (O(n) containment recount per candidate
+/// interval). Same peeling loop, same tie-breaking, kept as the oracle for
+/// differential tests; use `yds()` everywhere else.
+[[nodiscard]] Schedule yds_reference(const Instance& instance);
 
 /// The optimal speed profile only (same cost as yds() today; kept separate
 /// because several callers — OA, CRP2D — need just the profile).

@@ -1,0 +1,175 @@
+// The deterministic fan-out substrate: parallel_for index coverage and
+// exception plumbing, the clairvoyant memo, and bit-identical parallel
+// sweeps — the invariants every bench table's byte-stability rests on.
+#include "common/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/ratio_harness.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/clairvoyant.hpp"
+
+namespace qbss {
+namespace {
+
+/// Scoped QBSS_THREADS override (restores the prior state on exit).
+class ThreadsEnv {
+ public:
+  explicit ThreadsEnv(const char* value) {
+    const char* old = std::getenv("QBSS_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("QBSS_THREADS", value, 1);
+    } else {
+      ::unsetenv("QBSS_THREADS");
+    }
+  }
+  ~ThreadsEnv() {
+    if (had_old_) {
+      ::setenv("QBSS_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("QBSS_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> hits(100);
+    for (auto& h : hits) h.store(0);
+    common::parallel_for(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  int calls = 0;
+  common::parallel_for(0, [&](std::size_t) { ++calls; }, 8);
+  EXPECT_EQ(calls, 0);
+  // More threads than items: every item still runs exactly once.
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  common::parallel_for(
+      hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      common::parallel_for(
+          32,
+          [](std::size_t i) {
+            if (i == 7) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, WorkerCountHonorsEnvOverride) {
+  {
+    ThreadsEnv env("3");
+    EXPECT_EQ(common::worker_count(), 3u);
+  }
+  {
+    ThreadsEnv env("0");  // non-positive: clamp to serial
+    EXPECT_EQ(common::worker_count(), 1u);
+  }
+  {
+    ThreadsEnv env(nullptr);
+    EXPECT_GE(common::worker_count(), 1u);
+  }
+}
+
+TEST(ClairvoyantCache, SolvesEachDistinctInstanceOnce) {
+  analysis::ClairvoyantCache cache;
+  const core::QInstance a = gen::random_online(10, 8.0, 0.5, 4.0, 1);
+  const core::QInstance b = gen::random_online(10, 8.0, 0.5, 4.0, 2);
+
+  const auto s1 = cache.schedule(a);
+  const auto s2 = cache.schedule(a);
+  EXPECT_EQ(s1.get(), s2.get());  // same memo entry, not a re-solve
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  (void)cache.schedule(b);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The memoized schedule is the clairvoyant optimum.
+  EXPECT_DOUBLE_EQ(s1->energy(3.0), core::clairvoyant_energy(a, 3.0));
+  EXPECT_DOUBLE_EQ(s1->max_speed(), core::clairvoyant_max_speed(a));
+}
+
+TEST(MeasureCached, MatchesUncachedMeasureExactly) {
+  analysis::ClairvoyantCache cache;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const core::QInstance inst = gen::random_online(12, 8.0, 0.5, 4.0, seed);
+    for (const double alpha : {2.0, 3.0}) {
+      const analysis::Measurement plain =
+          analysis::measure(inst, core::avrq, alpha);
+      const analysis::Measurement cached =
+          analysis::measure_cached(inst, core::avrq, alpha, cache);
+      EXPECT_EQ(plain.energy_ratio, cached.energy_ratio);
+      EXPECT_EQ(plain.nominal_energy_ratio, cached.nominal_energy_ratio);
+      EXPECT_EQ(plain.speed_ratio, cached.speed_ratio);
+      EXPECT_EQ(plain.nominal_speed_ratio, cached.nominal_speed_ratio);
+      EXPECT_EQ(plain.feasible, cached.feasible);
+    }
+  }
+  // Two alphas per instance: the second measure reuses the memo.
+  EXPECT_EQ(cache.size(), 6u);
+  EXPECT_GE(cache.hits(), 6u);
+}
+
+void expect_same_aggregate(const analysis::Aggregate& a,
+                           const analysis::Aggregate& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.max_energy_ratio, b.max_energy_ratio);
+  EXPECT_EQ(a.sum_energy_ratio, b.sum_energy_ratio);
+  EXPECT_EQ(a.max_nominal_energy_ratio, b.max_nominal_energy_ratio);
+  EXPECT_EQ(a.max_speed_ratio, b.max_speed_ratio);
+  EXPECT_EQ(a.sum_speed_ratio, b.sum_speed_ratio);
+}
+
+TEST(SweepFamily, BitIdenticalAcrossThreadCounts) {
+  const auto make = [](std::uint64_t s) {
+    return gen::random_online(10, 8.0, 0.5, 4.0, s);
+  };
+  constexpr int kSeeds = 12;
+
+  // Hand-rolled serial loop — the pre-parallelization semantics.
+  analysis::Aggregate serial;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    serial.absorb(analysis::measure(make(seed), core::avrq, 3.0));
+  }
+
+  for (const char* threads : {"1", "4"}) {
+    ThreadsEnv env(threads);
+    analysis::ClairvoyantCache cache;
+    const analysis::Aggregate swept =
+        analysis::sweep_family(make, kSeeds, core::avrq, 3.0, &cache);
+    expect_same_aggregate(serial, swept);
+    // And without a cache.
+    const analysis::Aggregate uncached =
+        analysis::sweep_family(make, kSeeds, core::avrq, 3.0, nullptr);
+    expect_same_aggregate(serial, uncached);
+  }
+}
+
+}  // namespace
+}  // namespace qbss

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "analysis/fluid_opt.hpp"
 #include "common/xoshiro.hpp"
+#include "gen/random_instances.hpp"
+#include "qbss/transform.hpp"
 #include "scheduling/avr.hpp"
 #include "scheduling/bkp.hpp"
 #include "scheduling/edf.hpp"
@@ -167,6 +171,93 @@ TEST(Yds, OptimalEnergyScalesAsWorkToTheAlpha) {
   const double alpha = 2.0;
   EXPECT_NEAR(optimal_energy(b, alpha),
               std::pow(3.0, alpha) * optimal_energy(a, alpha), 1e-9);
+}
+
+// --- Differential: the event-grid fast path vs the direct-scan oracle ---
+
+/// Both solvers must produce feasible schedules of (essentially) equal
+/// energy at every exponent; YDS optimality makes energy the right
+/// invariant — tie-broken critical intervals may differ harmlessly.
+void expect_same_optimum(const Instance& inst, const char* context) {
+  const Schedule fast = yds(inst);
+  const Schedule ref = yds_reference(inst);
+  ASSERT_TRUE(validate(inst, fast).feasible) << context;
+  ASSERT_TRUE(validate(inst, ref).feasible) << context;
+  EXPECT_NEAR(fast.max_speed(), ref.max_speed(),
+              1e-9 * std::max(1.0, ref.max_speed()))
+      << context;
+  for (const double alpha : {1.5, 2.0, 3.0}) {
+    const Energy e_fast = fast.energy(alpha);
+    const Energy e_ref = ref.energy(alpha);
+    EXPECT_NEAR(e_fast, e_ref, 1e-9 * std::max(1.0, e_ref))
+        << context << " alpha " << alpha;
+  }
+}
+
+TEST(YdsDifferential, RandomOnlineInstances) {
+  for (const int n : {2, 5, 9, 16, 31}) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const core::QInstance q =
+          gen::random_online(n, 10.0, 0.5, 4.0, 1000 * seed + 7);
+      const Instance inst = core::clairvoyant_instance(q);
+      expect_same_optimum(
+          inst, ("random_online n=" + std::to_string(n)).c_str());
+    }
+  }
+}
+
+TEST(YdsDifferential, CommonDeadlineInstances) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const core::QInstance q = gen::random_common_deadline(12, 8.0, seed);
+    expect_same_optimum(core::clairvoyant_instance(q), "common_deadline");
+  }
+}
+
+TEST(YdsDifferential, LaminarInstances) {
+  // Chain-nested windows (every pair nested or disjoint) with random
+  // sibling splits — the shape that maximizes the number of peel rounds.
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    Instance inst;
+    Time lo = 0.0, hi = 64.0;
+    while (hi - lo > 0.5) {
+      inst.add(lo, hi, rng.uniform(0.1, 3.0));
+      const Time mid = lo + (hi - lo) * rng.uniform(0.25, 0.75);
+      if (rng.below(2) == 0) {
+        inst.add(lo, mid, rng.uniform(0.1, 2.0));  // disjoint sibling
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    expect_same_optimum(inst, "laminar");
+  }
+}
+
+TEST(YdsDifferential, ZeroWorkJobsMixedIn) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Instance inst;
+    for (int j = 0; j < 12; ++j) {
+      const Time r = rng.uniform(0.0, 6.0);
+      const Work w = (j % 3 == 0) ? 0.0 : rng.uniform(0.1, 2.0);
+      inst.add(r, r + rng.uniform(0.5, 4.0), w);
+    }
+    expect_same_optimum(inst, "zero_work");
+  }
+}
+
+TEST(YdsDifferential, DuplicateWindowsAndEndpointTies) {
+  // Repeated releases/deadlines stress the event-grid dedup and rank
+  // lookups; ties in intensity must resolve like the reference.
+  Instance inst;
+  inst.add(0.0, 4.0, 1.0);
+  inst.add(0.0, 4.0, 2.0);
+  inst.add(2.0, 4.0, 1.0);
+  inst.add(0.0, 2.0, 1.0);
+  inst.add(2.0, 6.0, 0.5);
+  inst.add(2.0, 6.0, 0.5);
+  expect_same_optimum(inst, "duplicate_windows");
 }
 
 TEST(Yds, DisjointWindowsScheduleIndependently) {
