@@ -61,5 +61,6 @@ int main() {
       "slot), informed pinning (least overlapping density) recovers most\n"
       "of the gap, blind rules pay more — consistent with [21]'s constant-\n"
       "factor loss for non-migratory speed scaling.\n");
+  qbss::bench::finish();
   return 0;
 }

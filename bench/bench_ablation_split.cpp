@@ -71,5 +71,6 @@ int main() {
   std::printf(
       "  -> compressible loads (small w*) favor late splits, incompressible\n"
       "     ones early splits; x = 1/2 is the robust minimax choice.\n");
+  qbss::bench::finish();
   return 0;
 }

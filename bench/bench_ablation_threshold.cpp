@@ -66,5 +66,6 @@ int main() {
       "  -> low thresholds blow up on compressible loads (executing w when\n"
       "     c + w* was cheap), high ones on incompressible loads (paying c\n"
       "     for nothing); 1/phi balances the two per Lemma 3.1.\n");
+  qbss::bench::finish();
   return 0;
 }

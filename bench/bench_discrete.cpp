@@ -66,5 +66,6 @@ int main() {
       "bound; ~8 levels over a 16x range already cost < 7%% energy, so the\n"
       "paper's continuum model is a benign idealization for real DVFS\n"
       "ladders.\n");
+  qbss::bench::finish();
   return 0;
 }

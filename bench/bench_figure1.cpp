@@ -67,5 +67,6 @@ int main() {
   std::printf(
       "\nReading: top-to-bottom matches the figure's three rows; B-jobs'\n"
       "windows halve from I' to I'_1/2 while A-jobs keep full windows.\n");
+  qbss::bench::finish();
   return 0;
 }

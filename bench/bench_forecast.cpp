@@ -84,5 +84,6 @@ int main() {
       "\nReading: perfect decisions still pay the splitting cost (the\n"
       "decision-oracle row is > 1); modest noise degrades gracefully; the\n"
       "prediction-free golden rule is the floor a predictor must beat.\n");
+  qbss::bench::finish();
   return 0;
 }

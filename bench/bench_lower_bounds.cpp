@@ -85,5 +85,6 @@ int main() {
       "  (3^1 = 3 at a=2, 3^2 = 9 at a=3; the energy game needs the full\n"
       "  omitted construction — the family demonstrates the speed bound\n"
       "  and growing energy ratios).\n");
+  qbss::bench::finish();
   return 0;
 }

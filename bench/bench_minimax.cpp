@@ -39,5 +39,6 @@ int main() {
               "(Lemma 4.2); full speed plateau = 2 for gamma <= 1/2 "
               "(Lemma 4.3); full energy peak at 1/phi.\n",
               kPhi);
+  qbss::bench::finish();
   return 0;
 }

@@ -77,5 +77,6 @@ int main() {
   std::printf(
       "\n(BKPQ columns use executed energy for comparability; its proven\n"
       "bound is on the nominal profile — see bench_table1_bkpq.)\n");
+  qbss::bench::finish();
   return 0;
 }

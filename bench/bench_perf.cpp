@@ -6,11 +6,18 @@
 // BKP/BKPQ pay O(n^3) for the profile max, AVR(m) scales with m.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/ratio_harness.hpp"
+#include "common/parallel_for.hpp"
+#include "io/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "gen/random_instances.hpp"
 #include "qbss/avrq.hpp"
 #include "qbss/avrq_m.hpp"
@@ -188,16 +195,57 @@ void BM_Clairvoyant(benchmark::State& state) {
 }
 BENCHMARK(BM_Clairvoyant)->RangeMultiplier(2)->Range(8, 128);
 
+// Splices the run manifest into the google-benchmark JSON at `path`:
+// the file's closing '}' is replaced by ,"manifest":{...}}. Leaves the
+// file alone when it is missing or not a JSON object (console format).
+void embed_manifest(const std::string& path) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (!in) return;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) return;
+
+  qbss::obs::Manifest manifest = qbss::obs::current_manifest();
+  manifest.threads = qbss::common::worker_count();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  out << text.substr(0, close) << ",\"manifest\":";
+  qbss::io::write_json_manifest_body(out, manifest);
+  out << "}\n";
+  std::fprintf(stderr, "[obs] manifest embedded into %s\n", path.c_str());
+  for (const auto& [name, value] : manifest.counters) {
+    std::fprintf(stderr, "[obs] counter %-36s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+}
+
 }  // namespace
 
 // Like BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_perf.json
 // (JSON) so every run leaves a machine-readable trace of the perf
-// trajectory; an explicit --benchmark_out on the command line wins.
+// trajectory; an explicit --benchmark_out on the command line wins. The
+// run manifest (sha, compiler, threads, wall time, counter snapshot) is
+// embedded into the JSON after the run, and QBSS_TRACE=<file> dumps a
+// Chrome trace of the instrumented spans.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
+  std::string out_path = "BENCH_perf.json";
+  std::string out_format = "json";
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+      out_path = argv[i] + 16;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0) {
+      out_format = argv[i] + 23;
+    }
   }
   std::string out_flag = "--benchmark_out=BENCH_perf.json";
   std::string fmt_flag = "--benchmark_out_format=json";
@@ -212,5 +260,7 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (out_format == "json") embed_manifest(out_path);
+  qbss::obs::flush_trace();
   return 0;
 }

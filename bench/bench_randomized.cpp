@@ -66,5 +66,6 @@ int main() {
       "\nReading: compressible loads want rho -> 1, incompressible rho -> 0;\n"
       "mixing interpolates smoothly. The deterministic golden rule (BKPQ)\n"
       "reads the ratio c/w instead of flipping coins and dominates both.\n");
+  qbss::bench::finish();
   return 0;
 }

@@ -47,5 +47,6 @@ int main() {
   std::printf("  rho3(2.0) = %.4f < rho2(2.0) = %.4f -> rho3 takes over at "
               "alpha = 2\n",
               rho3(2.0), rho2(2.0));
+  qbss::bench::finish();
   return 0;
 }

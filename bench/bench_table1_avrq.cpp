@@ -66,5 +66,6 @@ int main() {
   }
   std::printf("  measured max factor: %.4f  (bound 2.0: %s)\n", worst,
               verdict(worst, 2.0));
+  qbss::bench::finish();
   return 0;
 }

@@ -98,5 +98,6 @@ int main() {
   }
   std::printf("  measured max factor: %.4f  (%s)\n", worst_factor,
               verdict(worst_factor, 2.0));
+  qbss::bench::finish();
   return 0;
 }

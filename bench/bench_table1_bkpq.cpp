@@ -75,5 +75,6 @@ int main() {
   }
   std::printf("  measured max factor: %.4f  (%s)\n", worst,
               verdict(worst, 2.0 + kPhi));
+  qbss::bench::finish();
   return 0;
 }

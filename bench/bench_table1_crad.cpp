@@ -49,5 +49,6 @@ int main() {
     std::printf("%-8.2f %18.4f %12.4f\n", alpha, worst,
                 std::pow(2.0, alpha));
   }
+  qbss::bench::finish();
   return 0;
 }

@@ -79,5 +79,6 @@ int main() {
     std::printf("  alpha %.2f: energy LB %.4f\n", alpha,
                 qbss::analysis::offline_energy_lower(alpha));
   }
+  qbss::bench::finish();
   return 0;
 }

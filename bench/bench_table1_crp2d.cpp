@@ -61,5 +61,6 @@ int main() {
               std::pow(2.0, alpha));
   std::printf("%-26s %12.4f %12.4f\n", "Cor. 4.12   E_alg/E_1/2", worst412,
               std::pow(2.0, alpha));
+  qbss::bench::finish();
   return 0;
 }

@@ -65,5 +65,6 @@ int main() {
       "max-speed objective Table 1 also covers); at slow cooling it tracks\n"
       "accumulated energy. OAQ's smoother replanning runs coolest among\n"
       "the online algorithms, mirroring its energy advantage (E13).\n");
+  qbss::bench::finish();
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/parallel_for.hpp"
+#include "obs/span.hpp"
 #include "qbss/clairvoyant.hpp"
 
 namespace qbss::analysis {
@@ -13,6 +14,7 @@ namespace {
 Measurement measure_against(const core::QInstance& instance,
                             const SingleAlgorithm& algorithm, double alpha,
                             const scheduling::Schedule& opt) {
+  QBSS_SPAN("harness.measure");
   const Energy opt_energy = opt.energy(alpha);
   const Speed opt_speed = opt.max_speed();
   QBSS_EXPECTS(opt_energy > 0.0 && opt_speed > 0.0);
@@ -70,11 +72,13 @@ std::shared_ptr<const scheduling::Schedule> ClairvoyantCache::schedule(
       for (const Entry& e : it->second) {
         if (same_jobs(e.jobs, instance.jobs())) {
           ++hits_;
+          QBSS_COUNT("cache.clairvoyant.hit");
           return e.schedule;
         }
       }
     }
   }
+  QBSS_COUNT("cache.clairvoyant.miss");
 
   // Solve outside the lock; a racing thread may solve the same instance,
   // in which case the first insert wins (the solver is deterministic, so
@@ -130,6 +134,8 @@ std::vector<Measurement> measure_seeds(
     const std::function<core::QInstance(std::uint64_t)>& make, int seeds,
     const SingleAlgorithm& algorithm, double alpha, ClairvoyantCache* cache) {
   QBSS_EXPECTS(seeds >= 0);
+  QBSS_SPAN("harness.measure_seeds");
+  QBSS_COUNT_ADD("sweep.instances", seeds);
   std::vector<Measurement> results(static_cast<std::size_t>(seeds));
   common::parallel_for(
       results.size(), [&](std::size_t seed) {

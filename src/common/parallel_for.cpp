@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace qbss::common {
 
 std::size_t worker_count() {
@@ -25,7 +27,11 @@ void parallel_for(std::size_t count,
   if (threads == 0) threads = worker_count();
   if (threads > count) threads = count;
 
+  QBSS_COUNT("parallel_for.calls");
+  QBSS_COUNT_ADD("parallel_for.tasks", count);
+
   if (threads <= 1) {
+    QBSS_SPAN("parallel_for.worker");
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
@@ -35,6 +41,9 @@ void parallel_for(std::size_t count,
   std::mutex error_mu;
 
   const auto worker = [&] {
+    // Per-worker busy time; under QBSS_TRACE each activation becomes a
+    // trace span carrying this worker thread's id.
+    QBSS_SPAN("parallel_for.worker");
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;

@@ -1,22 +1,68 @@
 #include "io/json.hpp"
 
+#include <ios>
 #include <limits>
 #include <ostream>
+#include <string_view>
 
 namespace qbss::io {
 
 namespace {
 
-/// Writes a double with round-trip precision.
+/// RAII saver for the formatting state a writer touches (flags +
+/// precision). Writers set max_digits10 once up front; this restores the
+/// caller's state on every exit path instead of relying on each
+/// insertion to clean up after itself.
+class ScopedStreamState {
+ public:
+  explicit ScopedStreamState(std::ostream& out)
+      : out_(out), flags_(out.flags()), precision_(out.precision()) {
+    out_.precision(std::numeric_limits<double>::max_digits10);
+  }
+  ~ScopedStreamState() {
+    out_.flags(flags_);
+    out_.precision(precision_);
+  }
+  ScopedStreamState(const ScopedStreamState&) = delete;
+  ScopedStreamState& operator=(const ScopedStreamState&) = delete;
+
+ private:
+  std::ostream& out_;
+  std::ios_base::fmtflags flags_;
+  std::streamsize precision_;
+};
+
+/// Writes a double at the precision installed by ScopedStreamState.
 struct Num {
   double v;
 };
 
-std::ostream& operator<<(std::ostream& out, Num n) {
-  const auto old = out.precision(std::numeric_limits<double>::max_digits10);
-  out << n.v;
-  out.precision(old);
-  return out;
+std::ostream& operator<<(std::ostream& out, Num n) { return out << n.v; }
+
+/// Writes a JSON string literal, escaped.
+struct Str {
+  std::string_view v;
+};
+
+std::ostream& operator<<(std::ostream& out, Str s) {
+  out << '"';
+  for (const char c : s.v) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Rare control character: drop rather than derail the writer.
+          out << ' ';
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out << '"';
 }
 
 void write_profile_body(std::ostream& out, const StepFunction& profile) {
@@ -34,6 +80,7 @@ void write_profile_body(std::ostream& out, const StepFunction& profile) {
 }  // namespace
 
 void write_json_instance(std::ostream& out, const core::QInstance& instance) {
+  const ScopedStreamState saved(out);
   out << "{\"jobs\":[";
   bool first = true;
   for (const core::QJob& j : instance.jobs()) {
@@ -48,6 +95,7 @@ void write_json_instance(std::ostream& out, const core::QInstance& instance) {
 }
 
 void write_json_profile(std::ostream& out, const StepFunction& profile) {
+  const ScopedStreamState saved(out);
   out << "{\"pieces\":";
   write_profile_body(out, profile);
   out << "}\n";
@@ -55,6 +103,7 @@ void write_json_profile(std::ostream& out, const StepFunction& profile) {
 
 void write_json_run(std::ostream& out, const core::QbssRun& run,
                     double alpha) {
+  const ScopedStreamState saved(out);
   out << "{\"alpha\":" << Num{alpha} << ",\"feasible\":"
       << (run.feasible ? "true" : "false") << ",\"energy\":"
       << Num{run.energy(alpha)} << ",\"nominal_energy\":"
@@ -79,6 +128,37 @@ void write_json_run(std::ostream& out, const core::QbssRun& run,
   }
   out << "],\"speed\":";
   write_profile_body(out, run.schedule.speed());
+  out << "}\n";
+}
+
+void write_json_manifest_body(std::ostream& out,
+                              const obs::Manifest& manifest) {
+  const ScopedStreamState saved(out);
+  out << "{\"git_sha\":" << Str{manifest.git_sha} << ",\"compiler\":"
+      << Str{manifest.compiler} << ",\"build_type\":"
+      << Str{manifest.build_type} << ",\"flags\":" << Str{manifest.flags}
+      << ",\"obs_enabled\":" << (manifest.obs_enabled ? "true" : "false")
+      << ",\"threads\":" << manifest.threads << ",\"wall_seconds\":"
+      << Num{manifest.wall_seconds} << ",\"extra\":{";
+  bool first = true;
+  for (const auto& [key, value] : manifest.extra) {
+    if (!first) out << ",";
+    first = false;
+    out << Str{key} << ":" << Str{value};
+  }
+  out << "},\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : manifest.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << Str{name} << ":" << value;
+  }
+  out << "}}";
+}
+
+void write_json_manifest(std::ostream& out, const obs::Manifest& manifest) {
+  out << "{\"manifest\":";
+  write_json_manifest_body(out, manifest);
   out << "}\n";
 }
 

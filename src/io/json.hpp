@@ -1,10 +1,14 @@
-// JSON export of instances, runs and profiles — for plotting pipelines
-// and downstream tooling. Hand-rolled writer (no dependencies); numbers
-// use max_digits10 so a round-trip through text is lossless.
+// JSON export of instances, runs, profiles and run manifests — for
+// plotting pipelines and downstream tooling. Hand-rolled writer (no
+// dependencies); numbers use max_digits10 so a round-trip through text
+// is lossless. Every writer scopes the stream's formatting state (flags
+// + precision) with an RAII saver, so callers interleaving their own
+// output see it untouched.
 #pragma once
 
 #include <iosfwd>
 
+#include "obs/manifest.hpp"
 #include "qbss/run.hpp"
 
 namespace qbss::io {
@@ -20,5 +24,16 @@ void write_json_profile(std::ostream& out, const StepFunction& profile);
 /// profile, energy at the given alpha, max speed, feasibility flag.
 void write_json_run(std::ostream& out, const core::QbssRun& run,
                     double alpha);
+
+/// {"manifest": {"git_sha": .., "compiler": .., "build_type": ..,
+///               "flags": .., "obs_enabled": .., "threads": ..,
+///               "wall_seconds": .., "extra": {..}, "counters": {..}}}
+void write_json_manifest(std::ostream& out, const obs::Manifest& manifest);
+
+/// The bare manifest object (no "manifest" wrapper, no trailing
+/// newline) — for embedding into an existing JSON document, e.g. the
+/// google-benchmark BENCH_perf.json.
+void write_json_manifest_body(std::ostream& out,
+                              const obs::Manifest& manifest);
 
 }  // namespace qbss::io

@@ -1,0 +1,40 @@
+#include "obs/manifest.hpp"
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+#ifndef QBSS_GIT_SHA
+#define QBSS_GIT_SHA "unknown"
+#endif
+#ifndef QBSS_BUILD_TYPE
+#define QBSS_BUILD_TYPE "unknown"
+#endif
+#ifndef QBSS_CXX_FLAGS
+#define QBSS_CXX_FLAGS ""
+#endif
+
+namespace qbss::obs {
+
+Manifest current_manifest() {
+  Manifest m;
+  m.git_sha = QBSS_GIT_SHA;
+#if defined(__clang__)
+  m.compiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+  m.compiler = "gcc " __VERSION__;
+#else
+  m.compiler = "unknown";
+#endif
+  m.build_type = QBSS_BUILD_TYPE;
+  m.flags = QBSS_CXX_FLAGS;
+#ifdef QBSS_OBS_OFF
+  m.obs_enabled = false;
+#else
+  m.obs_enabled = true;
+#endif
+  m.wall_seconds = process_uptime_seconds();
+  m.counters = registry().snapshot();
+  return m;
+}
+
+}  // namespace qbss::obs

@@ -1,0 +1,36 @@
+// Run manifests: the provenance block every bench and CLI run attaches
+// to its machine-readable output — which git sha, compiler, flags and
+// thread count produced a given BENCH_*.json, plus the final counter
+// snapshot. Serialized by io::write_json_manifest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qbss::obs {
+
+/// Provenance of one process run.
+struct Manifest {
+  std::string git_sha;      // configure-time HEAD (QBSS_GIT_SHA define)
+  std::string compiler;     // compiler id + __VERSION__
+  std::string build_type;   // CMAKE_BUILD_TYPE
+  std::string flags;        // CXX flags for that build type
+  bool obs_enabled = true;  // false in QBSS_OBS=OFF builds
+  std::size_t threads = 0;  // caller-supplied (common::worker_count())
+  double wall_seconds = 0.0;
+
+  /// Free-form run parameters (alpha grid, families, seed counts, ...).
+  std::vector<std::pair<std::string, std::string>> extra;
+  /// Registry snapshot at manifest time.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Manifest describing this process: build provenance, process uptime as
+/// wall_seconds, and the current registry snapshot. `threads` is left 0
+/// for the caller (obs does not depend on the sweep layer) and `extra`
+/// empty.
+[[nodiscard]] Manifest current_manifest();
+
+}  // namespace qbss::obs

@@ -1,0 +1,57 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+namespace qbss::obs {
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return *it->second;
+  return *timers_
+              .emplace(std::string(name),
+                       std::make_unique<Timer>(std::string(name)))
+              .first->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::snapshot()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size() + 2 * timers_.size());
+    for (const auto& [name, counter] : counters_) {
+      out.emplace_back(name, counter->get());
+    }
+    for (const auto& [name, timer] : timers_) {
+      out.emplace_back(name + ".calls", timer->calls().get());
+      out.emplace_back(name + ".ns", timer->total_ns().get());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, timer] : timers_) {
+    timer->calls().reset();
+    timer->total_ns().reset();
+  }
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace qbss::obs

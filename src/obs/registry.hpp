@@ -1,0 +1,112 @@
+// qbss::obs — near-zero-overhead counters and accumulating timers.
+//
+// The Registry maps hierarchical names ("yds.rounds",
+// "cache.clairvoyant.hit") to atomic counters. Instrumentation sites use
+// the QBSS_COUNT / QBSS_COUNT_ADD macros, which resolve the name to a
+// counter reference exactly once (function-local static) and then pay a
+// single relaxed fetch_add per hit. Compiling with QBSS_OBS_OFF (CMake:
+// -DQBSS_OBS=OFF) turns every macro into a no-op; the Registry classes
+// themselves always compile, so manifests and tooling keep linking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qbss::obs {
+
+/// One named monotonic counter. Stable address for the process lifetime
+/// once created (the Registry never erases entries).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulator for timing spans: number of completed spans and total
+/// nanoseconds spent inside them. Appears in snapshots as "<name>.calls"
+/// and "<name>.ns".
+class Timer {
+ public:
+  explicit Timer(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  Counter& calls() noexcept { return calls_; }
+  Counter& total_ns() noexcept { return total_ns_; }
+  [[nodiscard]] const Counter& calls() const noexcept { return calls_; }
+  [[nodiscard]] const Counter& total_ns() const noexcept { return total_ns_; }
+
+ private:
+  std::string name_;
+  Counter calls_;
+  Counter total_ns_;
+};
+
+/// Process-wide table of counters and timers. Lookup takes a lock and is
+/// meant to happen once per site (cached in a static); the returned
+/// references stay valid forever.
+class Registry {
+ public:
+  /// The counter registered under `name` (created on first request).
+  Counter& counter(std::string_view name);
+
+  /// The timer registered under `name` (created on first request).
+  Timer& timer(std::string_view name);
+
+  /// Name-sorted snapshot of every counter plus, per timer, the derived
+  /// "<name>.calls" and "<name>.ns" entries. Zero-valued entries are
+  /// included — a registered counter that never fired is still signal.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const;
+
+  /// Zeroes every counter and timer (handles stay valid). Test support.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// The process-wide registry used by the macros.
+Registry& registry();
+
+}  // namespace qbss::obs
+
+#define QBSS_OBS_CAT2(a, b) a##b
+#define QBSS_OBS_CAT(a, b) QBSS_OBS_CAT2(a, b)
+
+#ifndef QBSS_OBS_OFF
+
+/// Adds `n` to the process-wide counter `name` (string literal). The
+/// lookup happens once; every subsequent hit is one relaxed fetch_add.
+#define QBSS_COUNT_ADD(name, n)                                          \
+  do {                                                                   \
+    static ::qbss::obs::Counter& qbss_obs_counter =                      \
+        ::qbss::obs::registry().counter(name);                           \
+    qbss_obs_counter.add(static_cast<std::uint64_t>(n));                 \
+  } while (0)
+
+/// Increments the process-wide counter `name`.
+#define QBSS_COUNT(name) QBSS_COUNT_ADD(name, 1)
+
+#else  // QBSS_OBS_OFF: macros compile to nothing (operands still parse).
+
+#define QBSS_COUNT_ADD(name, n) static_cast<void>(n)
+#define QBSS_COUNT(name) static_cast<void>(0)
+
+#endif  // QBSS_OBS_OFF

@@ -1,0 +1,55 @@
+// RAII timing spans. A Span measures the time between its construction
+// and destruction, accumulates it into a Registry Timer
+// ("<name>.calls" / "<name>.ns" in snapshots), and — when tracing is on
+// (see trace.hpp) — emits a Chrome trace-event with the worker thread's
+// id. Use the QBSS_SPAN macro at instrumentation sites so QBSS_OBS=OFF
+// builds compile the whole thing away.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace qbss::obs {
+
+/// Scope timer: accumulates into `timer` and traces when enabled.
+class Span {
+ public:
+  explicit Span(Timer& timer) noexcept
+      : timer_(&timer), start_ns_(now_ns()) {}
+  ~Span() { stop(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early (idempotent; the destructor is then a no-op).
+  void stop() noexcept {
+    if (timer_ == nullptr) return;
+    const std::uint64_t end = now_ns();
+    timer_->calls().add(1);
+    timer_->total_ns().add(end - start_ns_);
+    if (trace_enabled()) trace_emit(timer_->name(), start_ns_, end);
+    timer_ = nullptr;
+  }
+
+ private:
+  Timer* timer_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace qbss::obs
+
+#ifndef QBSS_OBS_OFF
+
+/// Times the rest of the enclosing scope under timer `name` (string
+/// literal). Declares variables — use at statement level, one per line.
+#define QBSS_SPAN(name)                                                  \
+  static ::qbss::obs::Timer& QBSS_OBS_CAT(qbss_obs_timer_, __LINE__) =   \
+      ::qbss::obs::registry().timer(name);                               \
+  const ::qbss::obs::Span QBSS_OBS_CAT(qbss_obs_span_, __LINE__)(        \
+      QBSS_OBS_CAT(qbss_obs_timer_, __LINE__))
+
+#else
+
+#define QBSS_SPAN(name) static_cast<void>(0)
+
+#endif  // QBSS_OBS_OFF

@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace qbss::obs {
+
+namespace {
+
+/// Minimal JSON string escape (span names are code literals, but keep
+/// the output well-formed for any input).
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Event {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  int tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::string path;
+  std::atomic<bool> enabled{false};
+
+  TraceState() {
+    if (const char* env = std::getenv("QBSS_TRACE"); env != nullptr && *env) {
+      path = env;
+      enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  // Last-chance flush so `QBSS_TRACE=out.json <bench>` needs no explicit
+  // flush call anywhere in the binary.
+  ~TraceState() { write_events(); }
+
+  bool write_events() {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!enabled.load(std::memory_order_relaxed) || path.empty()) {
+      return false;
+    }
+    std::ofstream out(path);
+    if (!out) return false;
+    const std::uint64_t base = process_start_ns();
+    out << std::fixed << std::setprecision(3);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const Event& e : events) {
+      if (!first) out << ",";
+      first = false;
+      const double ts = static_cast<double>(e.start_ns - base) / 1000.0;
+      const double dur = static_cast<double>(e.end_ns - e.start_ns) / 1000.0;
+      out << "{\"name\":\"" << json_escaped(e.name)
+          << "\",\"cat\":\"qbss\",\"ph\":\"X\",\"ts\":" << ts
+          << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":" << e.tid << "}";
+    }
+    out << "]}\n";
+    return static_cast<bool>(out);
+  }
+};
+
+TraceState& state() {
+  static TraceState instance;
+  return instance;
+}
+
+// Captured at static initialization of this translation unit, before any
+// span can run user code.
+const std::uint64_t g_process_start_ns = now_ns();
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t process_start_ns() noexcept { return g_process_start_ns; }
+
+double process_uptime_seconds() noexcept {
+  return static_cast<double>(now_ns() - g_process_start_ns) / 1e9;
+}
+
+int current_thread_id() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+bool trace_enabled() noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_path(std::string path) {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.path = std::move(path);
+  s.enabled.store(!s.path.empty(), std::memory_order_relaxed);
+}
+
+void trace_emit(const std::string& name, std::uint64_t start_ns,
+                std::uint64_t end_ns) {
+  TraceState& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  const int tid = current_thread_id();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.events.push_back(Event{name, start_ns, end_ns, tid});
+}
+
+bool flush_trace() { return state().write_events(); }
+
+}  // namespace qbss::obs

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/interval_set.hpp"
+#include "obs/span.hpp"
 #include "scheduling/edf.hpp"
 
 namespace qbss::scheduling {
@@ -132,6 +133,11 @@ Critical find_critical(const Instance& instance,
   ws.work_at_rank.assign(ws.ends.size(), 0.0);
   ws.prefix.assign(ws.ends.size(), 0.0);
 
+  // Counter adds happen once per round (outside the scan loops), so the
+  // instrumented hot path costs three relaxed fetch_adds per round.
+  QBSS_COUNT_ADD("yds.candidates_scanned", ws.starts.size() * ws.ends.size());
+  QBSS_COUNT_ADD("yds.prefix_rebuilds", ws.starts.size());
+
   Critical best;
   std::size_t next = 0;  // cursor into by_release
   // Sweep candidate starts from the right: each remaining job enters the
@@ -203,6 +209,7 @@ Schedule yds_peel(const Instance& instance, FindCritical&& find) {
   }
 
   while (left > 0) {
+    QBSS_COUNT("yds.rounds");
     const Critical crit = find(instance, done, used);
     QBSS_ENSURES(!crit.contained.empty());
 
@@ -241,6 +248,7 @@ Schedule yds_peel(const Instance& instance, FindCritical&& find) {
 }  // namespace
 
 Schedule yds(const Instance& instance) {
+  QBSS_SPAN("yds.solve");
   CriticalWorkspace ws;
   return yds_peel(instance,
                   [&ws](const Instance& inst, const std::vector<bool>& done,

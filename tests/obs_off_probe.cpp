@@ -1,0 +1,24 @@
+// Compiled with QBSS_OBS_OFF while the rest of the test binary has
+// observability on: proves the macros really are no-ops in OFF builds —
+// nothing gets registered, nothing gets counted — and that instrumented
+// code still compiles (operands must parse, side-effect-free). In a
+// -DQBSS_OBS=OFF build the macro already arrives via the command line.
+#ifndef QBSS_OBS_OFF
+#define QBSS_OBS_OFF
+#endif
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace qbss::obs_test {
+
+int obs_off_probe_touch() {
+  int evaluations = 0;
+  QBSS_COUNT("obs.off.probe");
+  QBSS_COUNT_ADD("obs.off.probe.add", 5);
+  QBSS_COUNT_ADD("obs.off.probe.evaluated", ++evaluations);
+  QBSS_SPAN("obs.off.probe.span");
+  return evaluations;
+}
+
+}  // namespace qbss::obs_test

@@ -1,0 +1,279 @@
+// Tests for qbss::obs: counter determinism under parallel_for at
+// QBSS_THREADS 1 and 8, span nesting and accumulation, Chrome-trace JSON
+// well-formedness (checked with the same reader-side balance/key probes
+// the JSON export tests use), manifest serialization, and the
+// QBSS_OBS_OFF no-op guarantee (via a probe TU compiled with the macros
+// disabled).
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/parallel_for.hpp"
+#include "io/json.hpp"
+
+namespace qbss::obs_test {
+int obs_off_probe_touch();  // defined in obs_off_probe.cpp (QBSS_OBS_OFF)
+}
+
+namespace qbss::obs {
+namespace {
+
+std::uint64_t counter_value(const std::string& name) {
+  for (const auto& [key, value] : registry().snapshot()) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+bool snapshot_has(const std::string& name) {
+  for (const auto& [key, value] : registry().snapshot()) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+void spin_for_us(std::uint64_t us) {
+  const std::uint64_t until = now_ns() + us * 1000;
+  while (now_ns() < until) {
+  }
+}
+
+/// Scoped QBSS_THREADS override (restores the prior state on exit).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(const char* value) {
+    if (const char* old = std::getenv("QBSS_THREADS")) {
+      old_ = old;
+      had_old_ = true;
+    }
+    ::setenv("QBSS_THREADS", value, 1);
+  }
+  ~ScopedThreads() {
+    if (had_old_) {
+      ::setenv("QBSS_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("QBSS_THREADS");
+    }
+  }
+
+ private:
+  std::string old_;
+  bool had_old_ = false;
+};
+
+int count_char(const std::string& text, char c) {
+  int n = 0;
+  for (const char ch : text) n += (ch == c) ? 1 : 0;
+  return n;
+}
+
+TEST(Registry, CounterCreateAddSnapshot) {
+  Counter& c = registry().counter("test.registry.basic");
+  const std::uint64_t before = c.get();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), before + 42);
+  EXPECT_EQ(counter_value("test.registry.basic"), before + 42);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&registry().counter("test.registry.basic"), &c);
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  registry().counter("test.sort.b");
+  registry().counter("test.sort.a");
+  const auto snap = registry().snapshot();
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+}
+
+TEST(Registry, TimerAppearsAsCallsAndNs) {
+  Timer& t = registry().timer("test.registry.timer");
+  { Span span(t); }
+  EXPECT_GE(counter_value("test.registry.timer.calls"), 1u);
+  EXPECT_TRUE(snapshot_has("test.registry.timer.ns"));
+}
+
+#ifndef QBSS_OBS_OFF
+
+TEST(Counters, DeterministicAcrossThreadCounts) {
+  Counter& c = registry().counter("test.parallel.tasks");
+  for (const char* threads : {"1", "8"}) {
+    const ScopedThreads scoped(threads);
+    ASSERT_EQ(common::worker_count(),
+              static_cast<std::size_t>(std::strtol(threads, nullptr, 10)));
+    const std::uint64_t before = c.get();
+    const std::uint64_t instrumented_before =
+        counter_value("parallel_for.tasks");
+    common::parallel_for(500,
+                         [](std::size_t) { QBSS_COUNT("test.parallel.tasks"); });
+    // Exactly one hit per index, regardless of the worker fan-out.
+    EXPECT_EQ(c.get() - before, 500u);
+    // The harness's own instrumentation saw the same 500 tasks.
+    EXPECT_EQ(counter_value("parallel_for.tasks") - instrumented_before,
+              500u);
+  }
+}
+
+TEST(Counters, MacroAddBatches) {
+  const std::uint64_t before = counter_value("test.macro.batched");
+  for (int i = 0; i < 3; ++i) QBSS_COUNT_ADD("test.macro.batched", 7);
+  EXPECT_EQ(counter_value("test.macro.batched") - before, 21u);
+}
+
+#endif  // QBSS_OBS_OFF
+
+TEST(Span, NestingAccumulatesIntoBothTimers) {
+  Timer& outer = registry().timer("test.span.outer");
+  Timer& inner = registry().timer("test.span.inner");
+  const std::uint64_t outer_ns_before = outer.total_ns().get();
+  const std::uint64_t inner_ns_before = inner.total_ns().get();
+  {
+    Span outer_span(outer);
+    {
+      Span inner_span(inner);
+      spin_for_us(200);
+    }
+    spin_for_us(50);
+  }
+  EXPECT_GE(outer.calls().get(), 1u);
+  EXPECT_GE(inner.calls().get(), 1u);
+  const std::uint64_t outer_ns = outer.total_ns().get() - outer_ns_before;
+  const std::uint64_t inner_ns = inner.total_ns().get() - inner_ns_before;
+  EXPECT_GT(inner_ns, 0u);
+  // The outer span contains the inner one.
+  EXPECT_GE(outer_ns, inner_ns);
+}
+
+TEST(Span, StopIsIdempotent) {
+  Timer& t = registry().timer("test.span.stop");
+  const std::uint64_t before = t.calls().get();
+  {
+    Span span(t);
+    span.stop();
+    span.stop();  // second stop is a no-op; destructor adds nothing more
+  }
+  EXPECT_EQ(t.calls().get() - before, 1u);
+}
+
+TEST(Trace, ChromeJsonWellFormedWithDistinctThreadIds) {
+  const std::string path =
+      testing::TempDir() + "qbss_test_trace.json";
+  set_trace_path(path);
+
+  // Two fresh threads plus the main thread, each completing one span.
+  std::thread a([] {
+    Span span(registry().timer("test.trace.a"));
+    spin_for_us(100);
+  });
+  std::thread b([] {
+    Span span(registry().timer("test.trace.b"));
+    spin_for_us(100);
+  });
+  a.join();
+  b.join();
+  {
+    Span span(registry().timer("test.trace.main"));
+    spin_for_us(100);
+  }
+  ASSERT_TRUE(flush_trace());
+  set_trace_path("");  // stop recording for the rest of the binary
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Reader-side structural checks, as in test_json.cpp.
+  EXPECT_EQ(count_char(text, '{'), count_char(text, '}'));
+  EXPECT_EQ(count_char(text, '['), count_char(text, ']'));
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"test.trace.a\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"test.trace.main\""), std::string::npos);
+
+  // Spans came from distinct threads: at least two distinct tid values.
+  std::set<std::string> tids;
+  for (std::size_t pos = text.find("\"tid\":"); pos != std::string::npos;
+       pos = text.find("\"tid\":", pos + 1)) {
+    const std::size_t start = pos + 6;
+    std::size_t end = start;
+    while (end < text.size() && text[end] != '}' && text[end] != ',') ++end;
+    tids.insert(text.substr(start, end - start));
+  }
+  EXPECT_GE(tids.size(), 2u);
+}
+
+TEST(Manifest, CurrentManifestCarriesBuildProvenance) {
+  const Manifest m = current_manifest();
+  EXPECT_FALSE(m.git_sha.empty());
+  EXPECT_FALSE(m.compiler.empty());
+  EXPECT_GE(m.wall_seconds, 0.0);
+#ifdef QBSS_OBS_OFF
+  EXPECT_FALSE(m.obs_enabled);
+#else
+  EXPECT_TRUE(m.obs_enabled);
+#endif
+}
+
+TEST(Manifest, JsonWriterIsWellFormed) {
+  Manifest m = current_manifest();
+  m.threads = 4;
+  m.extra.emplace_back("families", "online-mixed:25");
+  m.extra.emplace_back("alphas", "1.5 2 2.5 3");
+  std::ostringstream out;
+  io::write_json_manifest(out, m);
+  const std::string text = out.str();
+  EXPECT_EQ(count_char(text, '{'), count_char(text, '}'));
+  EXPECT_EQ(count_char(text, '['), count_char(text, ']'));
+  EXPECT_NE(text.find("{\"manifest\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"git_sha\":"), std::string::npos);
+  EXPECT_NE(text.find("\"compiler\":"), std::string::npos);
+  EXPECT_NE(text.find("\"threads\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"families\":\"online-mixed:25\""),
+            std::string::npos);
+}
+
+TEST(Manifest, WritersRestoreStreamState) {
+  std::ostringstream out;
+  out.precision(2);
+  out.setf(std::ios::fixed, std::ios::floatfield);
+  io::write_json_manifest(out, current_manifest());
+  core::QInstance inst;
+  inst.add(0.0, 1.0, 0.5, 0.75, 0.25);
+  io::write_json_instance(out, inst);
+  // The callers' formatting survives both writers.
+  EXPECT_EQ(out.precision(), 2);
+  std::ostringstream probe;
+  probe.precision(out.precision());
+  probe.flags(out.flags());
+  probe << 0.123456789;
+  EXPECT_EQ(probe.str(), "0.12");
+}
+
+TEST(ObsOff, MacrosCompileAwayInOffTranslationUnits) {
+  const int evaluations = qbss::obs_test::obs_off_probe_touch();
+  // Macro operands are still evaluated (they must parse and not warn)...
+  EXPECT_EQ(evaluations, 1);
+  // ...but nothing was registered or counted.
+  EXPECT_FALSE(snapshot_has("obs.off.probe"));
+  EXPECT_FALSE(snapshot_has("obs.off.probe.add"));
+  EXPECT_FALSE(snapshot_has("obs.off.probe.evaluated"));
+  EXPECT_FALSE(snapshot_has("obs.off.probe.span.calls"));
+  EXPECT_FALSE(snapshot_has("obs.off.probe.span.ns"));
+}
+
+}  // namespace
+}  // namespace qbss::obs

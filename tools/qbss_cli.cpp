@@ -3,11 +3,15 @@
 //   qbss gen  --family mixed|compression|optimizer|common|pow2
 //             [--n N] [--seed S]                  write an instance to stdout
 //   qbss run  --algo crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m
-//             [--machines M] [--alpha A] [--schedule] [--input FILE]
-//                                                 run an algorithm on an
+//             [--machines M] [--alpha A] [--schedule] [--plot] [--json]
+//             [--input FILE]                      run an algorithm on an
 //                                                 instance (stdin or file)
 //   qbss opt  [--alpha A] [--input FILE]          clairvoyant optimum
+//   qbss stats [--input FILE]                     instance statistics
 //   qbss bounds [--alpha A]                       print Table 1 bounds
+//
+// Global flags: --trace FILE (Chrome trace of instrumented spans),
+// --quiet (suppress the [obs] counter/manifest report on stderr).
 //
 // Example:
 //   qbss gen --family compression --n 20 --seed 7 | qbss run --algo bkpq
@@ -23,9 +27,13 @@
 #include "gen/compression.hpp"
 #include "gen/optimizer.hpp"
 #include "gen/random_instances.hpp"
+#include "common/parallel_for.hpp"
 #include "io/format.hpp"
 #include "io/json.hpp"
 #include "io/render.hpp"
+#include "obs/manifest.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "qbss/avrq.hpp"
 #include "qbss/avrq_m.hpp"
 #include "qbss/bkpq.hpp"
@@ -77,10 +85,19 @@ int usage() {
                "  gen    --family mixed|compression|optimizer|common|pow2 "
                "[--n N] [--seed S]\n"
                "  run    --algo crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m "
-               "[--machines M] [--alpha A] [--schedule] [--plot] [--json] [--input F]\n"
+               "[--machines M] [--alpha A]\n"
+               "         [--schedule] [--plot] [--json] [--input F]\n"
+               "           --schedule  dump the fluid schedule (text)\n"
+               "           --plot      ASCII-render the schedule\n"
+               "           --json      dump the full run as JSON\n"
                "  opt    [--alpha A] [--input F]\n"
                "  stats  [--input F]\n"
-               "  bounds [--alpha A]\n");
+               "  bounds [--alpha A]\n"
+               "global flags (any subcommand):\n"
+               "  --trace FILE   write a Chrome trace (chrome://tracing /"
+               " Perfetto) of instrumented spans\n"
+               "  --quiet        suppress the [obs] counter/manifest report"
+               " on stderr\n");
   return 2;
 }
 
@@ -132,6 +149,7 @@ int cmd_gen(const Options& opts) {
 }
 
 int cmd_run(const Options& opts) {
+  QBSS_SPAN("cli.run");
   bool ok = false;
   const core::QInstance inst = load_instance(opts, ok);
   if (!ok) return 1;
@@ -197,6 +215,7 @@ int cmd_run(const Options& opts) {
 }
 
 int cmd_opt(const Options& opts) {
+  QBSS_SPAN("cli.opt");
   bool ok = false;
   const core::QInstance inst = load_instance(opts, ok);
   if (!ok) return 1;
@@ -243,16 +262,44 @@ int cmd_bounds(const Options& opts) {
   return 0;
 }
 
-}  // namespace
+/// The [obs] report: a one-line manifest summary plus the final counter
+/// snapshot, on stderr so piped stdout output stays clean.
+void report(const std::string& command) {
+  obs::Manifest manifest = obs::current_manifest();
+  manifest.threads = common::worker_count();
+  manifest.extra.emplace_back("command", command);
+  std::fprintf(stderr,
+               "[obs] manifest: sha=%s compiler=\"%s\" threads=%zu "
+               "wall=%.3fs obs=%s\n",
+               manifest.git_sha.c_str(), manifest.compiler.c_str(),
+               manifest.threads, manifest.wall_seconds,
+               manifest.obs_enabled ? "on" : "off");
+  for (const auto& [name, value] : manifest.counters) {
+    std::fprintf(stderr, "[obs] counter %-36s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+}
 
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  const Options opts = parse_options(argc, argv, 2);
+int dispatch(const std::string& command, const Options& opts) {
   if (command == "gen") return cmd_gen(opts);
   if (command == "run") return cmd_run(opts);
   if (command == "opt") return cmd_opt(opts);
   if (command == "stats") return cmd_stats(opts);
   if (command == "bounds") return cmd_bounds(opts);
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Options opts = parse_options(argc, argv, 2);
+  if (const std::string trace = opts.get("trace", ""); !trace.empty()) {
+    obs::set_trace_path(trace);
+  }
+  const int rc = dispatch(command, opts);
+  if (!opts.flag("quiet")) report(command);
+  obs::flush_trace();
+  return rc;
 }
