@@ -129,6 +129,13 @@ inline void finish() {
     std::fprintf(stderr, "[obs] counter %-36s %llu\n", name.c_str(),
                  static_cast<unsigned long long>(value));
   }
+  for (const auto& [name, h] : manifest.histograms) {
+    std::fprintf(stderr,
+                 "[obs] hist    %-36s n=%llu min=%g max=%g p50=%g p90=%g "
+                 "p99=%g\n",
+                 name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.min, h.max, h.p50, h.p90, h.p99);
+  }
 
   const std::string path =
       "BENCH_" + (bench_id().empty() ? std::string("bench") : bench_id()) +

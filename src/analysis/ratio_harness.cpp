@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/parallel_for.hpp"
+#include "obs/histogram.hpp"
 #include "obs/span.hpp"
 #include "qbss/clairvoyant.hpp"
 
@@ -27,6 +28,9 @@ Measurement measure_against(const core::QInstance& instance,
   m.speed_ratio = run.max_speed() / opt_speed;
   m.nominal_speed_ratio = run.nominal_max_speed() / opt_speed;
   m.feasible = run.feasible && core::validate_run(instance, run).feasible;
+  QBSS_HIST("harness.energy_ratio", m.energy_ratio);
+  QBSS_HIST("harness.speed_ratio", m.speed_ratio);
+  QBSS_HIST("harness.peak_speed", run.max_speed());
   return m;
 }
 

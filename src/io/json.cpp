@@ -153,6 +153,16 @@ void write_json_manifest_body(std::ostream& out,
     first = false;
     out << Str{name} << ":" << value;
   }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : manifest.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << Str{name} << ":{\"count\":" << h.count << ",\"min\":"
+        << Num{h.min} << ",\"max\":" << Num{h.max} << ",\"p50\":"
+        << Num{h.p50} << ",\"p90\":" << Num{h.p90} << ",\"p99\":"
+        << Num{h.p99} << "}";
+  }
   out << "}}";
 }
 

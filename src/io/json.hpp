@@ -27,7 +27,9 @@ void write_json_run(std::ostream& out, const core::QbssRun& run,
 
 /// {"manifest": {"git_sha": .., "compiler": .., "build_type": ..,
 ///               "flags": .., "obs_enabled": .., "threads": ..,
-///               "wall_seconds": .., "extra": {..}, "counters": {..}}}
+///               "wall_seconds": .., "extra": {..}, "counters": {..},
+///               "histograms": {name: {"count": .., "min": .., "max": ..,
+///                                     "p50": .., "p90": .., "p99": ..}}}}
 void write_json_manifest(std::ostream& out, const obs::Manifest& manifest);
 
 /// The bare manifest object (no "manifest" wrapper, no trailing

@@ -1,0 +1,123 @@
+// Manifest diffing — the read side of the observability loop.
+//
+// PR 2 made every bench and CLI run write a JSON manifest; this module
+// reads two of them back and decides whether the candidate regressed
+// against the baseline:
+//   * timers   — mean ns/call ratios (robust to differing iteration
+//                counts), slower-than-tolerance fails, faster is an
+//                improvement;
+//   * counters — ratio drift in either direction fails (a policy that
+//                suddenly queries twice as often is a behaviour change
+//                even if it got faster);
+//   * histograms — p50/p90/p99 shifts beyond tolerance fail (the
+//                distribution view: tail regressions that totals hide).
+// Several candidate manifests can be reduced metric-wise to their median
+// first (the noise-tolerant mode the CI perf gate uses). Reports render
+// as markdown or JSON; `qbss obs-diff` wraps all of this and exits
+// nonzero on regression.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/manifest.hpp"
+
+namespace qbss::obs {
+
+/// One manifest, parsed back from JSON into diff-friendly maps.
+struct ManifestData {
+  std::string source;  // file path or label, for report headers
+  std::string git_sha;
+  std::string compiler;
+  std::string build_type;
+  bool obs_enabled = true;
+  double threads = 0.0;
+  double wall_seconds = 0.0;
+  std::map<std::string, double> counters;  // includes timer .calls/.ns
+  std::map<std::string, HistogramSummary> histograms;
+};
+
+/// Parses the manifest object out of `text`: either a bare
+/// {"manifest": {...}} document (io::write_json_manifest) or any JSON
+/// object with a top-level "manifest" key (e.g. the google-benchmark
+/// BENCH_perf.json with the embedded block). On failure returns nullopt
+/// and, when `error` is non-null, stores a one-line diagnosis.
+[[nodiscard]] std::optional<ManifestData> parse_manifest_json(
+    const std::string& text, std::string* error = nullptr);
+
+/// Reads and parses the file at `path` (sets ManifestData::source).
+[[nodiscard]] std::optional<ManifestData> load_manifest_file(
+    const std::string& path, std::string* error = nullptr);
+
+/// Metric-wise median across candidates (each counter, histogram field,
+/// threads and wall_seconds independently). Provenance is taken from the
+/// first candidate. Empty input yields an empty manifest.
+[[nodiscard]] ManifestData median_of(
+    const std::vector<ManifestData>& candidates);
+
+/// Per-metric-class tolerances. Ratios are multiplicative: a timer with
+/// ratio_tol 1.5 fails when candidate ns/call exceeds 1.5x the baseline.
+/// A non-positive tolerance disables that class entirely.
+struct DiffOptions {
+  double timer_ratio_tol = 1.5;
+  double counter_ratio_tol = 2.0;
+  double hist_ratio_tol = 1.5;
+  /// Timers where both sides spent less than this many total ns are
+  /// noise and skipped; an inflated candidate always clears the floor.
+  double min_total_ns = 1.0e6;
+  /// Counters below this on both sides are skipped as noise.
+  double min_count = 8.0;
+};
+
+enum class DiffVerdict {
+  kOk,        // within tolerance
+  kImproved,  // timer faster than tolerance in the good direction
+  kRegressed, // outside tolerance — fails the gate
+  kAdded,     // only in the candidate (informational)
+  kRemoved,   // only in the baseline (informational)
+  kSkipped,   // below the noise floor
+};
+
+/// One compared metric.
+struct MetricDiff {
+  std::string name;       // "yds.solve ns/call", "harness.energy_ratio p99"
+  std::string kind;       // "timer", "counter", "histogram"
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double ratio = 0.0;     // candidate / baseline (0 when undefined)
+  double tolerance = 0.0;
+  DiffVerdict verdict = DiffVerdict::kOk;
+};
+
+struct DiffReport {
+  ManifestData baseline;
+  ManifestData candidate;
+  std::vector<MetricDiff> metrics;  // name-sorted
+  int regressions = 0;
+  int improvements = 0;
+  int compared = 0;
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Compares candidate against baseline under `options`.
+[[nodiscard]] DiffReport diff_manifests(const ManifestData& baseline,
+                                        const ManifestData& candidate,
+                                        const DiffOptions& options = {});
+
+/// Renders the report as a markdown document (regressed rows first).
+void write_markdown_report(std::ostream& out, const DiffReport& report);
+
+/// Renders the report as a JSON object.
+void write_json_report(std::ostream& out, const DiffReport& report);
+
+/// Verdict as a short word ("ok", "improved", ...); kRegressed renders
+/// as "REGRESSED" so failures stand out in the reports.
+[[nodiscard]] const char* to_string(DiffVerdict verdict);
+
+}  // namespace qbss::obs

@@ -1,0 +1,140 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace qbss::obs {
+
+Histogram::Histogram() noexcept
+    : min_bits_(std::bit_cast<std::uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<std::uint64_t>(
+          -std::numeric_limits<double>::infinity())) {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::bucket_index(double value) noexcept {
+  if (value <= 0.0) return 0;
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // in [0.5, 1)
+  exponent = std::clamp(exponent, kMinExponent, kMaxExponent - 1);
+  // mantissa*2 - 1 maps [0.5, 1) onto [0, 1); slice it into kSubBuckets.
+  const int sub = std::clamp(
+      static_cast<int>((mantissa * 2.0 - 1.0) * kSubBuckets), 0,
+      kSubBuckets - 1);
+  return 1 + (exponent - kMinExponent) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_midpoint(int index) noexcept {
+  if (index <= 0) return 0.0;
+  const int octave = (index - 1) / kSubBuckets + kMinExponent;
+  const int sub = (index - 1) % kSubBuckets;
+  const double low = 0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets);
+  const double high =
+      0.5 + static_cast<double>(sub + 1) / (2.0 * kSubBuckets);
+  return std::ldexp((low + high) / 2.0, octave);
+}
+
+void Histogram::fold_min(double value) noexcept {
+  std::uint64_t seen = min_bits_.load(std::memory_order_relaxed);
+  while (value < std::bit_cast<double>(seen) &&
+         !min_bits_.compare_exchange_weak(
+             seen, std::bit_cast<std::uint64_t>(value),
+             std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::fold_max(double value) noexcept {
+  std::uint64_t seen = max_bits_.load(std::memory_order_relaxed);
+  while (value > std::bit_cast<double>(seen) &&
+         !max_bits_.compare_exchange_weak(
+             seen, std::bit_cast<std::uint64_t>(value),
+             std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::record(double value) noexcept {
+  if (std::isnan(value)) return;
+  buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  fold_min(value);
+  fold_max(value);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSummary Histogram::summary() const {
+  std::array<std::uint64_t, kBucketCount> counts;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[static_cast<std::size_t>(i)];
+  }
+  HistogramSummary out;
+  out.count = total;
+  if (total == 0) return out;
+
+  out.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  out.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+
+  const auto percentile = [&](double q) {
+    // Rank statistic: the ceil(q * total)-th smallest sample (1-based).
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kBucketCount; ++i) {
+      cumulative += counts[static_cast<std::size_t>(i)];
+      if (cumulative >= target) {
+        return std::clamp(bucket_midpoint(i), out.min, out.max);
+      }
+    }
+    return out.max;
+  };
+  out.p50 = percentile(0.50);
+  out.p90 = percentile(0.90);
+  out.p99 = percentile(0.99);
+  return out;
+}
+
+void Histogram::merge_from(const Histogram& other) noexcept {
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (n > 0) {
+      buckets_[static_cast<std::size_t>(i)].fetch_add(
+          n, std::memory_order_relaxed);
+    }
+  }
+  if (other.count() > 0) {
+    fold_min(std::bit_cast<double>(
+        other.min_bits_.load(std::memory_order_relaxed)));
+    fold_max(std::bit_cast<double>(
+        other.max_bits_.load(std::memory_order_relaxed)));
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  min_bits_.store(std::bit_cast<std::uint64_t>(
+                      std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(
+                      -std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+}
+
+}  // namespace qbss::obs

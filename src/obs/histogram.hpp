@@ -1,0 +1,95 @@
+// qbss::obs — log-bucketed distribution metrics.
+//
+// A Histogram records double-valued samples (speeds, energy ratios) into
+// logarithmically spaced buckets: each power-of-two octave is split into
+// kSubBuckets equal slices, so percentile estimates carry a bounded
+// relative error (~1/(2*kSubBuckets)) over the whole dynamic range.
+// Buckets are independent relaxed atomics and min/max are maintained
+// exactly via CAS, which makes the summary a pure function of the
+// recorded multiset — identical for any thread interleaving or
+// QBSS_THREADS setting — and makes merging associative and commutative.
+// Instrumentation sites use QBSS_HIST, which (like QBSS_COUNT) resolves
+// the registry slot once and compiles away entirely under QBSS_OBS=OFF.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "obs/registry.hpp"
+
+namespace qbss::obs {
+
+/// The distribution summary exported by snapshots and manifests.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One named distribution. Stable address for the process lifetime once
+/// created (the Registry never erases entries).
+class Histogram {
+ public:
+  /// Slices per power-of-two octave: relative bucket width 1/16.
+  static constexpr int kSubBuckets = 8;
+  /// Covered octaves: values in [2^-64, 2^64); out-of-range values clamp
+  /// into the edge buckets (min/max stay exact regardless).
+  static constexpr int kMinExponent = -64;
+  static constexpr int kMaxExponent = 64;
+  /// Bucket 0 holds non-positive samples; the rest tile the octaves.
+  static constexpr int kBucketCount =
+      1 + (kMaxExponent - kMinExponent) * kSubBuckets;
+
+  Histogram() noexcept;
+
+  /// Records one sample. NaN samples are dropped. Lock-free.
+  void record(double value) noexcept;
+
+  /// Total recorded samples.
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// {count, min, max, p50, p90, p99}. Percentiles are bucket-midpoint
+  /// estimates clamped into [min, max]; an empty histogram summarizes as
+  /// all zeros. Deterministic for a given recorded multiset.
+  [[nodiscard]] HistogramSummary summary() const;
+
+  /// Adds `other`'s samples into this histogram (bucket-wise, min/max
+  /// folded). Associative and commutative up to summary().
+  void merge_from(const Histogram& other) noexcept;
+
+  /// Forgets every sample (handle stays valid). Test support.
+  void reset() noexcept;
+
+ private:
+  static int bucket_index(double value) noexcept;
+  static double bucket_midpoint(int index) noexcept;
+  void fold_min(double value) noexcept;
+  void fold_max(double value) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_;
+  std::atomic<std::uint64_t> min_bits_;  // double bit pattern, starts +inf
+  std::atomic<std::uint64_t> max_bits_;  // double bit pattern, starts -inf
+};
+
+}  // namespace qbss::obs
+
+#ifndef QBSS_OBS_OFF
+
+/// Records `value` into the process-wide histogram `name` (string
+/// literal). The lookup happens once; every hit is a few relaxed atomics.
+#define QBSS_HIST(name, value)                                            \
+  do {                                                                    \
+    static ::qbss::obs::Histogram& qbss_obs_hist =                        \
+        ::qbss::obs::registry().histogram(name);                          \
+    qbss_obs_hist.record(static_cast<double>(value));                     \
+  } while (0)
+
+#else  // QBSS_OBS_OFF: no-op (the operand still parses and evaluates).
+
+#define QBSS_HIST(name, value) static_cast<void>(value)
+
+#endif  // QBSS_OBS_OFF

@@ -34,6 +34,7 @@ Manifest current_manifest() {
 #endif
   m.wall_seconds = process_uptime_seconds();
   m.counters = registry().snapshot();
+  m.histograms = registry().histogram_snapshot();
   return m;
 }
 

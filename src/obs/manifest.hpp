@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace qbss::obs {
 
 /// Provenance of one process run.
@@ -25,6 +27,8 @@ struct Manifest {
   std::vector<std::pair<std::string, std::string>> extra;
   /// Registry snapshot at manifest time.
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Registry histogram summaries at manifest time.
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
 };
 
 /// Manifest describing this process: build provenance, process uptime as

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/histogram.hpp"
+
 namespace qbss::obs {
+
+// Defined here, where Histogram is complete (the header only forward-
+// declares it so that histogram.hpp can define QBSS_HIST on top of
+// registry()).
+Registry::Registry() = default;
+Registry::~Registry() = default;
 
 Counter& Registry::counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -19,6 +27,15 @@ Timer& Registry::timer(std::string_view name) {
   return *timers_
               .emplace(std::string(name),
                        std::make_unique<Timer>(std::string(name)))
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>())
               .first->second;
 }
 
@@ -40,6 +57,17 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::snapshot()
   return out;
 }
 
+std::vector<std::pair<std::string, HistogramSummary>>
+Registry::histogram_snapshot() const {
+  std::vector<std::pair<std::string, HistogramSummary>> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->summary());
+  }
+  return out;  // map iteration order is already name-sorted
+}
+
 void Registry::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, counter] : counters_) counter->reset();
@@ -47,6 +75,7 @@ void Registry::reset() {
     timer->calls().reset();
     timer->total_ns().reset();
   }
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
 }
 
 Registry& registry() {

@@ -21,6 +21,9 @@
 
 namespace qbss::obs {
 
+class Histogram;          // histogram.hpp
+struct HistogramSummary;  // histogram.hpp
+
 /// One named monotonic counter. Stable address for the process lifetime
 /// once created (the Registry never erases entries).
 class Counter {
@@ -61,11 +64,19 @@ class Timer {
 /// references stay valid forever.
 class Registry {
  public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
   /// The counter registered under `name` (created on first request).
   Counter& counter(std::string_view name);
 
   /// The timer registered under `name` (created on first request).
   Timer& timer(std::string_view name);
+
+  /// The histogram registered under `name` (created on first request).
+  Histogram& histogram(std::string_view name);
 
   /// Name-sorted snapshot of every counter plus, per timer, the derived
   /// "<name>.calls" and "<name>.ns" entries. Zero-valued entries are
@@ -73,13 +84,19 @@ class Registry {
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
       const;
 
-  /// Zeroes every counter and timer (handles stay valid). Test support.
+  /// Name-sorted {count, min, max, p50, p90, p99} of every histogram.
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSummary>>
+  histogram_snapshot() const;
+
+  /// Zeroes every counter, timer and histogram (handles stay valid).
+  /// Test support.
   void reset();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 /// The process-wide registry used by the macros.

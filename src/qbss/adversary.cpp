@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/constants.hpp"
+#include "obs/registry.hpp"
 #include "qbss/oracle.hpp"
 
 namespace qbss::core {
@@ -52,6 +53,7 @@ RatioPair lemma42_ratio_if_query(double alpha) {
 }
 
 RatioPair lemma42_game_value(double alpha) {
+  QBSS_COUNT("adversary.game_evals");
   const RatioPair q = lemma42_ratio_if_query(alpha);
   const RatioPair s = lemma42_ratio_if_skip(alpha);
   return {std::min(q.speed, s.speed), std::min(q.energy, s.energy)};
@@ -60,6 +62,7 @@ RatioPair lemma42_game_value(double alpha) {
 // ----- Lemma 4.3 ------------------------------------------------------
 
 RatioPair lemma43_adversary_response(bool queries, double x, double alpha) {
+  QBSS_COUNT("adversary.responses");
   constexpr Work kC = 1.0;
   constexpr Work kW = 2.0;
 
@@ -83,6 +86,7 @@ RatioPair lemma43_adversary_response(bool queries, double x, double alpha) {
 }
 
 RatioPair lemma43_game_value(double alpha, int grid) {
+  QBSS_COUNT("adversary.game_evals");
   QBSS_EXPECTS(grid >= 2);
   RatioPair best = lemma43_adversary_response(false, 0.5, alpha);
   for (int i = 1; i < grid; ++i) {
@@ -116,6 +120,7 @@ double lemma44_energy_ratio(double rho, double alpha) {
 }
 
 double lemma44_speed_game_value(int grid) {
+  QBSS_COUNT("adversary.game_evals");
   QBSS_EXPECTS(grid >= 1);
   double best = kInf;
   for (int i = 0; i <= grid; ++i) {
@@ -125,6 +130,7 @@ double lemma44_speed_game_value(int grid) {
 }
 
 double lemma44_energy_game_value(double alpha, int grid) {
+  QBSS_COUNT("adversary.game_evals");
   QBSS_EXPECTS(grid >= 1);
   double best = kInf;
   for (int i = 0; i <= grid; ++i) {

@@ -1,16 +1,20 @@
 #include "qbss/avrq.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "scheduling/avr.hpp"
 
 namespace qbss::core {
 
 QbssRun avrq(const QInstance& instance) {
+  QBSS_SPAN("policy.avrq");
   QbssRun run;
   run.expansion =
       expand(instance, QueryPolicy::always(), SplitPolicy::half());
   run.schedule = scheduling::avr(run.expansion.classical);
   run.nominal = run.schedule.speed();
   run.feasible = true;  // AVR runs each part at its own density
+  QBSS_HIST("policy.avrq.peak_speed", run.max_speed());
   return run;
 }
 

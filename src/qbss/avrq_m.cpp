@@ -1,14 +1,18 @@
 #include "qbss/avrq_m.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "scheduling/multi/avr_m.hpp"
 
 namespace qbss::core {
 
 QbssMultiRun avrq_m(const QInstance& instance, int machines) {
+  QBSS_SPAN("policy.avrq_m");
   Expansion expansion =
       expand(instance, QueryPolicy::always(), SplitPolicy::half());
   scheduling::MachineSchedule schedule =
       scheduling::avr_m(expansion.classical, machines);
+  QBSS_HIST("policy.avrq_m.peak_speed", schedule.max_speed());
   return QbssMultiRun{std::move(expansion), std::move(schedule),
                       /*feasible=*/true};
 }

@@ -1,15 +1,20 @@
 #include "qbss/avrq_m_nonmig.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
+
 namespace qbss::core {
 
 QbssPartitionedRun avrq_m_nonmigratory(const QInstance& instance,
                                        int machines,
                                        scheduling::AssignmentRule rule,
                                        std::uint64_t seed) {
+  QBSS_SPAN("policy.avrq_m_nonmig");
   Expansion expansion =
       expand(instance, QueryPolicy::always(), SplitPolicy::half());
   scheduling::PartitionedSchedule schedule = scheduling::nonmigratory_avr(
       expansion.classical, machines, rule, seed);
+  QBSS_HIST("policy.avrq_m_nonmig.peak_speed", schedule.max_speed());
   return QbssPartitionedRun{std::move(expansion), std::move(schedule)};
 }
 
@@ -34,6 +39,11 @@ scheduling::ValidationReport validate_partitioned_run(
         report.errors.push_back("part escapes the QBSS window");
       }
     }
+  }
+  if (report.feasible) {
+    QBSS_COUNT("validator.run.pass");
+  } else {
+    QBSS_COUNT("validator.run.fail");
   }
   return report;
 }

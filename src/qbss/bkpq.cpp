@@ -1,16 +1,20 @@
 #include "qbss/bkpq.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "scheduling/bkp.hpp"
 
 namespace qbss::core {
 
 QbssRun bkpq(const QInstance& instance) {
+  QBSS_SPAN("policy.bkpq");
   QbssRun run;
   run.expansion = expand(instance, QueryPolicy::golden(), SplitPolicy::half());
   scheduling::OnlineRun inner = scheduling::bkp(run.expansion.classical);
   run.schedule = std::move(inner.schedule);
   run.nominal = std::move(inner.nominal);
   run.feasible = inner.feasible;
+  QBSS_HIST("policy.bkpq.peak_speed", run.max_speed());
   return run;
 }
 

@@ -1,12 +1,18 @@
 #include "qbss/clairvoyant.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "qbss/transform.hpp"
 #include "scheduling/yds.hpp"
 
 namespace qbss::core {
 
 scheduling::Schedule clairvoyant_schedule(const QInstance& instance) {
-  return scheduling::yds(clairvoyant_instance(instance));
+  QBSS_SPAN("policy.clairvoyant");
+  scheduling::Schedule schedule =
+      scheduling::yds(clairvoyant_instance(instance));
+  QBSS_HIST("policy.clairvoyant.peak_speed", schedule.max_speed());
+  return schedule;
 }
 
 Energy clairvoyant_energy(const QInstance& instance, double alpha) {

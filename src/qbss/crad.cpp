@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "qbss/crp2d.hpp"
 
 namespace qbss::core {
@@ -24,8 +26,16 @@ QInstance rounded_instance(const QInstance& instance) {
 }
 
 QbssRun crad(const QInstance& instance) {
+  QBSS_SPAN("policy.crad");
   QBSS_EXPECTS(instance.common_release());
-  return crp2d(rounded_instance(instance));
+  std::size_t rounded = 0;
+  for (const QJob& j : instance.jobs()) {
+    if (round_down_power_of_two(j.deadline) != j.deadline) ++rounded;
+  }
+  QBSS_COUNT_ADD("policy.crad.rounded_deadlines", rounded);
+  QbssRun run = crp2d(rounded_instance(instance));
+  QBSS_HIST("policy.crad.peak_speed", run.max_speed());
+  return run;
 }
 
 }  // namespace qbss::core

@@ -1,10 +1,13 @@
 #include "qbss/crcd.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "scheduling/avr.hpp"
 
 namespace qbss::core {
 
 QbssRun crcd(const QInstance& instance) {
+  QBSS_SPAN("policy.crcd");
   QBSS_EXPECTS(instance.common_release());
   QBSS_EXPECTS(instance.common_deadline());
 
@@ -19,6 +22,7 @@ QbssRun crcd(const QInstance& instance) {
     const Time d = job.deadline;
     const Time mid = d / 2.0;
     if (golden.should_query(job)) {
+      QBSS_COUNT("policy.crcd.threshold.query");
       // B: query in (0, D/2], exact load in (D/2, D].
       run.expansion.queried[i] = true;
       run.expansion.classical.add(0.0, mid, job.query_cost);
@@ -27,6 +31,7 @@ QbssRun crcd(const QInstance& instance) {
       run.expansion.classical.add(mid, d, gate.exact_load(q));
       run.expansion.parts.push_back({q, PartKind::kExact});
     } else {
+      QBSS_COUNT("policy.crcd.threshold.skip");
       // A: half the upper bound in each half interval.
       run.expansion.classical.add(0.0, mid, job.upper_bound / 2.0);
       run.expansion.parts.push_back({q, PartKind::kFull});
@@ -40,6 +45,7 @@ QbssRun crcd(const QInstance& instance) {
   run.schedule = scheduling::avr(run.expansion.classical);
   run.nominal = run.schedule.speed();
   run.feasible = true;  // by construction; re-checked by validate_run
+  QBSS_HIST("policy.crcd.peak_speed", run.max_speed());
   return run;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "scheduling/yds_common.hpp"
 
 namespace qbss::core {
@@ -14,6 +16,7 @@ bool is_power_of_two(Time d) {
 }
 
 QbssRun crp2d(const QInstance& instance) {
+  QBSS_SPAN("policy.crp2d");
   QBSS_EXPECTS(instance.common_release());
   for (const QJob& j : instance.jobs()) {
     QBSS_EXPECTS(is_power_of_two(j.deadline));
@@ -41,6 +44,7 @@ QbssRun crp2d(const QInstance& instance) {
     const QJob& job = instance.job(q);
     const Time d = job.deadline;
     if (golden.should_query(job)) {
+      QBSS_COUNT("policy.crp2d.threshold.query");
       run.expansion.queried[i] = true;
       run.expansion.classical.add(0.0, d / 2.0, job.query_cost);
       run.expansion.parts.push_back({q, PartKind::kQuery});
@@ -59,6 +63,7 @@ QbssRun crp2d(const QInstance& instance) {
              wstar / (d / 2.0)});
       }
     } else {
+      QBSS_COUNT("policy.crp2d.threshold.skip");
       run.expansion.classical.add(0.0, d, job.upper_bound);
       run.expansion.parts.push_back({q, PartKind::kFull});
       yds_input.add(0.0, d, job.upper_bound);
@@ -84,6 +89,8 @@ QbssRun crp2d(const QInstance& instance) {
   run.schedule = std::move(builder).build();
   run.nominal = run.schedule.speed();
   run.feasible = true;  // by construction; re-checked by validate_run
+  QBSS_COUNT_ADD("policy.crp2d.exact_parts", exacts.size());
+  QBSS_HIST("policy.crp2d.peak_speed", run.max_speed());
   return run;
 }
 

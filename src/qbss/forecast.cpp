@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/xoshiro.hpp"
+#include "obs/span.hpp"
 #include "scheduling/avr.hpp"
 
 namespace qbss::core {
@@ -24,18 +25,25 @@ QbssRun run_with_decisions(const QInstance& instance,
 
 QbssRun avr_with_forecast(const QInstance& instance,
                           std::span<const Work> predictions) {
+  QBSS_SPAN("policy.forecast");
   QBSS_EXPECTS(predictions.size() == instance.size());
   std::vector<bool> decisions(instance.size());
+  std::size_t query = 0;
   for (std::size_t i = 0; i < instance.size(); ++i) {
     const QJob& job = instance.job(static_cast<JobId>(i));
     const Work predicted =
         std::clamp(predictions[i], 0.0, job.upper_bound);
     decisions[i] = job.query_cost + predicted < job.upper_bound;
+    if (decisions[i]) ++query;
   }
+  QBSS_COUNT_ADD("policy.forecast.threshold.query", query);
+  QBSS_COUNT_ADD("policy.forecast.threshold.skip",
+                 instance.size() - query);
   return run_with_decisions(instance, decisions);
 }
 
 QbssRun avr_with_decision_oracle(const QInstance& instance) {
+  QBSS_SPAN("policy.forecast_oracle");
   std::vector<bool> decisions(instance.size());
   for (std::size_t i = 0; i < instance.size(); ++i) {
     decisions[i] = instance.job(static_cast<JobId>(i)).optimum_queries();

@@ -1,5 +1,6 @@
 #include "qbss/generic.hpp"
 
+#include "obs/registry.hpp"
 #include "scheduling/avr.hpp"
 #include "scheduling/bkp.hpp"
 #include "scheduling/oa.hpp"
@@ -8,6 +9,7 @@ namespace qbss::core {
 
 QbssRun avr_with_policies(const QInstance& instance, QueryPolicy query,
                           SplitPolicy split) {
+  QBSS_COUNT("policy.generic_avr.runs");
   QbssRun run;
   run.expansion = expand(instance, query, split);
   run.schedule = scheduling::avr(run.expansion.classical);
@@ -18,6 +20,7 @@ QbssRun avr_with_policies(const QInstance& instance, QueryPolicy query,
 
 QbssRun bkp_with_policies(const QInstance& instance, QueryPolicy query,
                           SplitPolicy split) {
+  QBSS_COUNT("policy.generic_bkp.runs");
   QbssRun run;
   run.expansion = expand(instance, query, split);
   scheduling::OnlineRun inner = scheduling::bkp(run.expansion.classical);
@@ -29,6 +32,7 @@ QbssRun bkp_with_policies(const QInstance& instance, QueryPolicy query,
 
 QbssRun oa_with_policies(const QInstance& instance, QueryPolicy query,
                          SplitPolicy split) {
+  QBSS_COUNT("policy.generic_oa.runs");
   QbssRun run;
   run.expansion = expand(instance, query, split);
   run.schedule = scheduling::optimal_available(run.expansion.classical);

@@ -1,15 +1,19 @@
 #include "qbss/oaq.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "scheduling/oa.hpp"
 
 namespace qbss::core {
 
 QbssRun oaq(const QInstance& instance) {
+  QBSS_SPAN("policy.oaq");
   QbssRun run;
   run.expansion = expand(instance, QueryPolicy::golden(), SplitPolicy::half());
   run.schedule = scheduling::optimal_available(run.expansion.classical);
   run.nominal = run.schedule.speed();
   run.feasible = true;  // OA plans are YDS-feasible at every replan
+  QBSS_HIST("policy.oaq.peak_speed", run.max_speed());
   return run;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.hpp"
+
 namespace qbss::core {
 
 SingleJobOutcome run_without_query(const QJob& job, double alpha) {
@@ -33,6 +35,7 @@ SingleJobOutcome run_with_oracle_split(const QJob& job, double alpha) {
 }
 
 SingleJobOutcome single_job_optimum(const QJob& job, double alpha) {
+  QBSS_COUNT("oracle.single_job_evals");
   const Time len = job.window_length();
   const Speed s = job.best_load() / len;
   return {s, len * std::pow(s, alpha)};

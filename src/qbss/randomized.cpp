@@ -1,15 +1,20 @@
 #include "qbss/randomized.hpp"
 
 #include "common/xoshiro.hpp"
+#include "obs/histogram.hpp"
+#include "obs/span.hpp"
 #include "scheduling/avr.hpp"
 
 namespace qbss::core {
 
 QbssRun avrq_randomized(const QInstance& instance, double rho,
                         std::uint64_t seed) {
+  QBSS_SPAN("policy.randomized");
   QBSS_EXPECTS(rho >= 0.0 && rho <= 1.0);
   Xoshiro256 rng(seed);
   const SplitPolicy split = SplitPolicy::half();
+  std::size_t coin_query = 0;
+  std::size_t coin_skip = 0;
 
   QbssRun run;
   run.expansion.queried.resize(instance.size(), false);
@@ -18,6 +23,7 @@ QbssRun avrq_randomized(const QInstance& instance, double rho,
     const JobId q = static_cast<JobId>(i);
     const QJob& job = instance.job(q);
     if (rng.chance(rho)) {
+      ++coin_query;
       run.expansion.queried[i] = true;
       const Time tau = split.split_point(job);
       run.expansion.classical.add(job.release, tau, job.query_cost);
@@ -26,6 +32,7 @@ QbssRun avrq_randomized(const QInstance& instance, double rho,
       run.expansion.classical.add(tau, job.deadline, gate.exact_load(q));
       run.expansion.parts.push_back({q, PartKind::kExact});
     } else {
+      ++coin_skip;
       run.expansion.classical.add(job.release, job.deadline,
                                   job.upper_bound);
       run.expansion.parts.push_back({q, PartKind::kFull});
@@ -34,6 +41,9 @@ QbssRun avrq_randomized(const QInstance& instance, double rho,
   run.schedule = scheduling::avr(run.expansion.classical);
   run.nominal = run.schedule.speed();
   run.feasible = true;
+  QBSS_COUNT_ADD("policy.randomized.coin.query", coin_query);
+  QBSS_COUNT_ADD("policy.randomized.coin.skip", coin_skip);
+  QBSS_HIST("policy.randomized.peak_speed", run.max_speed());
   return run;
 }
 

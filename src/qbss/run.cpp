@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/registry.hpp"
+
 namespace qbss::core {
 
 namespace {
@@ -95,6 +97,11 @@ scheduling::ValidationReport validate_run(const QInstance& instance,
   scheduling::ValidationReport report =
       scheduling::validate(run.expansion.classical, run.schedule, tol);
   check_expansion(instance, run.expansion, report);
+  if (report.feasible) {
+    QBSS_COUNT("validator.run.pass");
+  } else {
+    QBSS_COUNT("validator.run.fail");
+  }
   return report;
 }
 
@@ -104,6 +111,11 @@ scheduling::ValidationReport validate_multi_run(const QInstance& instance,
   scheduling::ValidationReport report =
       scheduling::validate_multi(run.expansion.classical, run.schedule, tol);
   check_expansion(instance, run.expansion, report);
+  if (report.feasible) {
+    QBSS_COUNT("validator.run.pass");
+  } else {
+    QBSS_COUNT("validator.run.fail");
+  }
   return report;
 }
 

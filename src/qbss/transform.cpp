@@ -1,5 +1,7 @@
 #include "qbss/transform.hpp"
 
+#include "obs/registry.hpp"
+
 namespace qbss::core {
 
 Expansion expand_with_decisions(const QInstance& instance,
@@ -9,11 +11,13 @@ Expansion expand_with_decisions(const QInstance& instance,
   Expansion out;
   out.queried.resize(instance.size(), false);
   RevealGate gate(instance);
+  std::size_t issued = 0;
 
   for (std::size_t i = 0; i < instance.size(); ++i) {
     const JobId q = static_cast<JobId>(i);
     const QJob& job = instance.job(q);
     if (decisions[i]) {
+      ++issued;
       out.queried[i] = true;
       const Time tau = split.split_point(job);
       out.classical.add(job.release, tau, job.query_cost);
@@ -27,6 +31,8 @@ Expansion expand_with_decisions(const QInstance& instance,
       out.parts.push_back({q, PartKind::kFull});
     }
   }
+  QBSS_COUNT_ADD("expand.queries.issued", issued);
+  QBSS_COUNT_ADD("expand.queries.skipped", instance.size() - issued);
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/registry.hpp"
+
 namespace qbss::scheduling {
 
 namespace {
@@ -74,6 +76,11 @@ ValidationReport validate_multi(const Instance& instance,
     }
   }
 
+  if (report.feasible) {
+    QBSS_COUNT("validator.schedule.pass");
+  } else {
+    QBSS_COUNT("validator.schedule.fail");
+  }
   return report;
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/registry.hpp"
+
 namespace qbss::scheduling {
 
 namespace {
@@ -9,6 +11,14 @@ namespace {
 void fail(ValidationReport& report, std::string message) {
   report.feasible = false;
   report.errors.push_back(std::move(message));
+}
+
+void count_outcome(const ValidationReport& report) {
+  if (report.feasible) {
+    QBSS_COUNT("validator.schedule.pass");
+  } else {
+    QBSS_COUNT("validator.schedule.fail");
+  }
 }
 
 }  // namespace
@@ -19,6 +29,7 @@ ValidationReport validate(const Instance& instance, const Schedule& schedule,
 
   if (schedule.job_count() != instance.size()) {
     fail(report, "schedule job count does not match instance");
+    count_outcome(report);
     return report;
   }
 
@@ -57,6 +68,7 @@ ValidationReport validate(const Instance& instance, const Schedule& schedule,
     fail(report, "speed profile is not the sum of job rates");
   }
 
+  count_outcome(report);
   return report;
 }
 

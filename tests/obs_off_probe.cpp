@@ -7,6 +7,7 @@
 #define QBSS_OBS_OFF
 #endif
 
+#include "obs/histogram.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 
@@ -17,6 +18,7 @@ int obs_off_probe_touch() {
   QBSS_COUNT("obs.off.probe");
   QBSS_COUNT_ADD("obs.off.probe.add", 5);
   QBSS_COUNT_ADD("obs.off.probe.evaluated", ++evaluations);
+  QBSS_HIST("obs.off.probe.hist", ++evaluations);
   QBSS_SPAN("obs.off.probe.span");
   return evaluations;
 }

@@ -4,6 +4,7 @@
 // the JSON export tests use), manifest serialization, and the
 // QBSS_OBS_OFF no-op guarantee (via a probe TU compiled with the macros
 // disabled).
+#include "obs/histogram.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -129,6 +130,122 @@ TEST(Counters, MacroAddBatches) {
   const std::uint64_t before = counter_value("test.macro.batched");
   for (int i = 0; i < 3; ++i) QBSS_COUNT_ADD("test.macro.batched", 7);
   EXPECT_EQ(counter_value("test.macro.batched") - before, 21u);
+}
+
+#endif  // QBSS_OBS_OFF
+
+/// The deterministic sample multiset the histogram tests share: values
+/// spanning several octaves so multiple buckets are exercised.
+double sample_value(std::size_t i) {
+  return 0.25 + static_cast<double>(i % 97) * 0.5;
+}
+
+TEST(Histogram, SummaryTracksCountMinMaxAndOrderedPercentiles) {
+  Histogram h;
+  for (std::size_t i = 0; i < 500; ++i) h.record(sample_value(i));
+  h.record(-3.0);  // non-positive values land in the underflow bucket
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 501u);
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+  EXPECT_DOUBLE_EQ(s.max, 48.25);
+  // Percentiles are bucket midpoints: ordered and inside [min, max].
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  // Log-bucket resolution is an eighth of an octave: p50 of the uniform
+  // grid over (0.25, 48.25) sits near 24 within that relative error.
+  EXPECT_NEAR(s.p50, 24.0, 24.0 * 0.15);
+}
+
+TEST(Histogram, SummaryIgnoresNaNAndEmptyIsZero) {
+  Histogram h;
+  const HistogramSummary empty = h.summary();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  h.record(std::nan(""));
+  EXPECT_EQ(h.summary().count, 0u);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  Histogram a, b, c;
+  for (std::size_t i = 0; i < 100; ++i) a.record(sample_value(i));
+  for (std::size_t i = 100; i < 300; ++i) b.record(sample_value(i));
+  for (std::size_t i = 300; i < 350; ++i) c.record(sample_value(i) * 8.0);
+
+  Histogram ab_c;  // (a + b) + c
+  ab_c.merge_from(a);
+  ab_c.merge_from(b);
+  ab_c.merge_from(c);
+  Histogram c_ba;  // c + (b + a)
+  c_ba.merge_from(c);
+  c_ba.merge_from(b);
+  c_ba.merge_from(a);
+
+  const HistogramSummary lhs = ab_c.summary();
+  const HistogramSummary rhs = c_ba.summary();
+  EXPECT_EQ(lhs.count, rhs.count);
+  EXPECT_DOUBLE_EQ(lhs.min, rhs.min);
+  EXPECT_DOUBLE_EQ(lhs.max, rhs.max);
+  EXPECT_DOUBLE_EQ(lhs.p50, rhs.p50);
+  EXPECT_DOUBLE_EQ(lhs.p90, rhs.p90);
+  EXPECT_DOUBLE_EQ(lhs.p99, rhs.p99);
+}
+
+#ifndef QBSS_OBS_OFF
+
+TEST(Histogram, DeterministicAcrossThreadCounts) {
+  // The same multiset recorded under 1 and 8 workers: the second round
+  // doubles every bucket, so min/max and every percentile are identical
+  // and only the count changes. Any interleaving- or thread-count-
+  // dependence would break this.
+  Histogram& h = registry().histogram("test.hist.determinism");
+  HistogramSummary per_round[2];
+  int round = 0;
+  for (const char* threads : {"1", "8"}) {
+    const ScopedThreads scoped(threads);
+    common::parallel_for(500, [](std::size_t i) {
+      QBSS_HIST("test.hist.determinism", sample_value(i));
+    });
+    per_round[round++] = h.summary();
+  }
+  EXPECT_EQ(per_round[0].count, 500u);
+  EXPECT_EQ(per_round[1].count, 1000u);
+  EXPECT_DOUBLE_EQ(per_round[0].min, per_round[1].min);
+  EXPECT_DOUBLE_EQ(per_round[0].max, per_round[1].max);
+  EXPECT_DOUBLE_EQ(per_round[0].p50, per_round[1].p50);
+  EXPECT_DOUBLE_EQ(per_round[0].p90, per_round[1].p90);
+  EXPECT_DOUBLE_EQ(per_round[0].p99, per_round[1].p99);
+}
+
+TEST(Histogram, MacroRegistersAndAppearsInSnapshotAndManifest) {
+  QBSS_HIST("test.hist.macro", 2.5);
+  QBSS_HIST("test.hist.macro", 7);  // integral operands convert
+  bool in_snapshot = false;
+  for (const auto& [name, s] : registry().histogram_snapshot()) {
+    if (name == "test.hist.macro") {
+      in_snapshot = true;
+      EXPECT_GE(s.count, 2u);
+      EXPECT_DOUBLE_EQ(s.min, 2.5);
+      EXPECT_DOUBLE_EQ(s.max, 7.0);
+    }
+  }
+  EXPECT_TRUE(in_snapshot);
+
+  const Manifest m = current_manifest();
+  bool in_manifest = false;
+  for (const auto& [name, s] : m.histograms) {
+    if (name == "test.hist.macro") in_manifest = true;
+  }
+  EXPECT_TRUE(in_manifest);
+
+  std::ostringstream out;
+  io::write_json_manifest(out, m);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"test.hist.macro\":{\"count\":"),
+            std::string::npos);
+  EXPECT_EQ(count_char(text, '{'), count_char(text, '}'));
 }
 
 #endif  // QBSS_OBS_OFF
@@ -266,13 +383,16 @@ TEST(Manifest, WritersRestoreStreamState) {
 TEST(ObsOff, MacrosCompileAwayInOffTranslationUnits) {
   const int evaluations = qbss::obs_test::obs_off_probe_touch();
   // Macro operands are still evaluated (they must parse and not warn)...
-  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(evaluations, 2);
   // ...but nothing was registered or counted.
   EXPECT_FALSE(snapshot_has("obs.off.probe"));
   EXPECT_FALSE(snapshot_has("obs.off.probe.add"));
   EXPECT_FALSE(snapshot_has("obs.off.probe.evaluated"));
   EXPECT_FALSE(snapshot_has("obs.off.probe.span.calls"));
   EXPECT_FALSE(snapshot_has("obs.off.probe.span.ns"));
+  for (const auto& [name, summary] : registry().histogram_snapshot()) {
+    EXPECT_NE(name, "obs.off.probe.hist");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// Cross-checks the counter/histogram catalogue in docs/OBSERVABILITY.md
+// against what the registry actually records: after a representative run
+// touching every policy, the harness, the validators and the adversary
+// games, every name in `registry().snapshot()` and
+// `registry().histogram_snapshot()` must appear in the catalogue (with
+// `{a,b}` brace groups expanded). A new metric without a doc entry —
+// or a renamed metric leaving a stale entry unverifiable — fails here.
+// The doc path arrives via the QBSS_OBSERVABILITY_MD compile definition.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/ratio_harness.hpp"
+#include "common/constants.hpp"
+#include "gen/random_instances.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "qbss/adversary.hpp"
+#include "qbss/avrq.hpp"
+#include "qbss/avrq_m.hpp"
+#include "qbss/avrq_m_nonmig.hpp"
+#include "qbss/bkpq.hpp"
+#include "qbss/clairvoyant.hpp"
+#include "qbss/crad.hpp"
+#include "qbss/crcd.hpp"
+#include "qbss/crp2d.hpp"
+#include "qbss/forecast.hpp"
+#include "qbss/generic.hpp"
+#include "qbss/oaq.hpp"
+#include "qbss/oracle.hpp"
+#include "qbss/randomized.hpp"
+
+namespace qbss {
+namespace {
+
+/// Expands every `{a,b,c}` group in `name` recursively:
+/// "policy.{avrq,oaq}.{calls,ns}" -> four names.
+void expand_braces(const std::string& name, std::set<std::string>& out) {
+  const std::size_t open = name.find('{');
+  if (open == std::string::npos) {
+    out.insert(name);
+    return;
+  }
+  const std::size_t close = name.find('}', open);
+  ASSERT_NE(close, std::string::npos) << "unbalanced brace in: " << name;
+  const std::string head = name.substr(0, open);
+  const std::string tail = name.substr(close + 1);
+  std::stringstream alts(name.substr(open + 1, close - open - 1));
+  std::string alt;
+  while (std::getline(alts, alt, ',')) {
+    expand_braces(head + alt + tail, out);
+  }
+}
+
+/// Every backticked token in the markdown, brace groups expanded. The
+/// catalogue tables use `name` cells; prose code spans also land here,
+/// which only ever widens the documented set.
+std::set<std::string> documented_names(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::set<std::string> names;
+  for (std::size_t pos = text.find('`'); pos != std::string::npos;
+       pos = text.find('`', pos + 1)) {
+    const std::size_t end = text.find('`', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string token = text.substr(pos + 1, end - pos - 1);
+    if (!token.empty() && token.find('\n') == std::string::npos) {
+      expand_braces(token, names);
+    }
+    pos = end;
+  }
+  return names;
+}
+
+/// Runs every QBSS policy (and the validators and harness around them)
+/// once, so the registry holds a representative snapshot.
+void run_representative_workload() {
+  const double alpha = 2.5;
+  using namespace qbss::core;
+
+  const QInstance online = gen::random_online(8, 8.0, 0.5, 4.0, 7);
+  analysis::ClairvoyantCache cache;
+  std::ignore = analysis::measure_cached(online, avrq, alpha, cache);
+  std::ignore = analysis::measure_cached(online, bkpq, alpha, cache);
+  std::ignore = analysis::measure_cached(online, oaq, alpha, cache);
+  std::ignore = analysis::measure_seeds(
+      [](std::uint64_t s) { return gen::random_online(6, 8.0, 0.5, 4.0, s); },
+      4, avrq, alpha, &cache);
+
+  std::ignore =
+      analysis::measure(gen::random_common_deadline(8, 5.0, 1), crcd, alpha);
+  std::ignore =
+      analysis::measure(gen::random_pow2_deadlines(8, 4, 2), crp2d, alpha);
+  std::ignore = analysis::measure(gen::random_arbitrary_deadlines(8, 12.0, 3),
+                                  crad, alpha);
+
+  const QbssRun random_run = avrq_randomized(online, 1.0 / kPhi, 11);
+  std::ignore = validate_run(online, random_run);
+  std::ignore = avr_with_forecast(online, noisy_predictions(online, 0.1, 5));
+  std::ignore = avr_with_decision_oracle(online);
+  std::ignore =
+      avr_with_policies(online, QueryPolicy::golden(), SplitPolicy::half());
+  std::ignore =
+      bkp_with_policies(online, QueryPolicy::golden(), SplitPolicy::half());
+  std::ignore =
+      oa_with_policies(online, QueryPolicy::golden(), SplitPolicy::half());
+
+  const QbssMultiRun multi = avrq_m(online, 3);
+  std::ignore = validate_multi_run(online, multi);
+  const QbssPartitionedRun part = avrq_m_nonmigratory(
+      online, 3, scheduling::AssignmentRule::kLeastOverlap, 13);
+  std::ignore = validate_partitioned_run(online, part);
+
+  std::ignore = lemma42_game_value(alpha);
+  std::ignore = lemma43_game_value(alpha);
+  std::ignore = lemma44_speed_game_value();
+  std::ignore = lemma44_energy_game_value(alpha);
+}
+
+TEST(ObsDocs, EveryRegisteredMetricIsInTheCatalogue) {
+  run_representative_workload();
+  const std::set<std::string> documented =
+      documented_names(QBSS_OBSERVABILITY_MD);
+  ASSERT_FALSE(documented.empty());
+
+  for (const auto& [name, value] : obs::registry().snapshot()) {
+    EXPECT_TRUE(documented.contains(name))
+        << "counter `" << name
+        << "` is not documented in docs/OBSERVABILITY.md";
+  }
+  for (const auto& [name, summary] : obs::registry().histogram_snapshot()) {
+    EXPECT_TRUE(documented.contains(name))
+        << "histogram `" << name
+        << "` is not documented in docs/OBSERVABILITY.md";
+  }
+}
+
+#ifndef QBSS_OBS_OFF
+
+TEST(ObsDocs, EveryPolicyRegistersAtLeastOneMetric) {
+  run_representative_workload();
+  std::set<std::string> names;
+  for (const auto& [name, value] : obs::registry().snapshot()) {
+    names.insert(name);
+  }
+  for (const auto& [name, summary] : obs::registry().histogram_snapshot()) {
+    names.insert(name);
+  }
+
+  const std::vector<std::string> policies = {
+      "avrq",       "avrq_m",     "avrq_m_nonmig", "bkpq",
+      "crcd",       "crp2d",      "crad",          "oaq",
+      "randomized", "clairvoyant", "forecast",     "forecast_oracle",
+      "generic_avr", "generic_bkp", "generic_oa",
+  };
+  for (const std::string& policy : policies) {
+    const std::string prefix = "policy." + policy + ".";
+    bool found = false;
+    for (const std::string& name : names) {
+      if (name.compare(0, prefix.size(), prefix) == 0) found = true;
+    }
+    EXPECT_TRUE(found) << "no metric registered under " << prefix;
+  }
+  // The adversary games and the schedule validator are instrumented too.
+  EXPECT_TRUE(names.contains("adversary.game_evals"));
+  EXPECT_TRUE(names.contains("oracle.single_job_evals"));
+  EXPECT_TRUE(names.contains("validator.run.pass"));
+  EXPECT_TRUE(names.contains("validator.schedule.pass"));
+  EXPECT_TRUE(names.contains("expand.queries.issued"));
+}
+
+#endif  // QBSS_OBS_OFF
+
+}  // namespace
+}  // namespace qbss

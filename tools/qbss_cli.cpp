@@ -9,9 +9,13 @@
 //   qbss opt  [--alpha A] [--input FILE]          clairvoyant optimum
 //   qbss stats [--input FILE]                     instance statistics
 //   qbss bounds [--alpha A]                       print Table 1 bounds
+//   qbss obs-diff BASELINE.json CANDIDATE.json... diff two run manifests
+//                                                 and exit nonzero on
+//                                                 regression
 //
 // Global flags: --trace FILE (Chrome trace of instrumented spans),
-// --quiet (suppress the [obs] counter/manifest report on stderr).
+// --quiet (suppress the [obs] counter/manifest report on stderr),
+// --manifest FILE (write this run's manifest as JSON).
 //
 // Example:
 //   qbss gen --family compression --n 20 --seed 7 | qbss run --algo bkpq
@@ -20,7 +24,9 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/bounds.hpp"
 #include "analysis/stats.hpp"
@@ -31,6 +37,7 @@
 #include "io/format.hpp"
 #include "io/json.hpp"
 #include "io/render.hpp"
+#include "obs/diff.hpp"
 #include "obs/manifest.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -49,6 +56,7 @@ using namespace qbss;
 
 struct Options {
   std::map<std::string, std::string> values;
+  std::vector<std::string> positional;
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
@@ -68,7 +76,10 @@ Options parse_options(int argc, char** argv, int first) {
   Options opts;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional.push_back(std::move(arg));
+      continue;
+    }
     arg.erase(0, 2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       opts.values[arg] = argv[++i];
@@ -81,7 +92,7 @@ Options parse_options(int argc, char** argv, int first) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: qbss <gen|run|opt|stats|bounds> [--options]\n"
+               "usage: qbss <gen|run|opt|stats|bounds|obs-diff> [--options]\n"
                "  gen    --family mixed|compression|optimizer|common|pow2 "
                "[--n N] [--seed S]\n"
                "  run    --algo crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m "
@@ -93,11 +104,28 @@ int usage() {
                "  opt    [--alpha A] [--input F]\n"
                "  stats  [--input F]\n"
                "  bounds [--alpha A]\n"
+               "  obs-diff BASELINE.json CANDIDATE.json [CANDIDATE2.json "
+               "...]\n"
+               "         compare run manifests (see docs/OBSERVABILITY.md); "
+               "exits 1 on regression\n"
+               "         multiple candidates are reduced to their "
+               "metric-wise median first\n"
+               "           --ratio-tol X  timer ns/call ratio tolerance "
+               "(default 1.5; <=0 off)\n"
+               "           --count-tol X  counter ratio tolerance "
+               "(default 2; <=0 off)\n"
+               "           --hist-tol X   histogram percentile tolerance "
+               "(default 1.5; <=0 off)\n"
+               "           --min-ns N     skip timers under N total ns "
+               "(default 1e6)\n"
+               "           --json         emit the report as JSON instead "
+               "of markdown\n"
                "global flags (any subcommand):\n"
-               "  --trace FILE   write a Chrome trace (chrome://tracing /"
+               "  --trace FILE     write a Chrome trace (chrome://tracing /"
                " Perfetto) of instrumented spans\n"
-               "  --quiet        suppress the [obs] counter/manifest report"
-               " on stderr\n");
+               "  --quiet          suppress the [obs] counter/manifest report"
+               " on stderr\n"
+               "  --manifest FILE  write this run's manifest as JSON\n");
   return 2;
 }
 
@@ -262,21 +290,82 @@ int cmd_bounds(const Options& opts) {
   return 0;
 }
 
+int cmd_obs_diff(const Options& opts) {
+  if (opts.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "obs-diff needs a baseline and at least one candidate "
+                 "manifest\n");
+    return usage();
+  }
+
+  std::string error;
+  const std::optional<obs::ManifestData> baseline =
+      obs::load_manifest_file(opts.positional[0], &error);
+  if (!baseline) {
+    std::fprintf(stderr, "obs-diff: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<obs::ManifestData> candidates;
+  for (std::size_t i = 1; i < opts.positional.size(); ++i) {
+    std::optional<obs::ManifestData> candidate =
+        obs::load_manifest_file(opts.positional[i], &error);
+    if (!candidate) {
+      std::fprintf(stderr, "obs-diff: %s\n", error.c_str());
+      return 2;
+    }
+    candidates.push_back(std::move(*candidate));
+  }
+
+  obs::DiffOptions options;
+  options.timer_ratio_tol = opts.number("ratio-tol", options.timer_ratio_tol);
+  options.counter_ratio_tol =
+      opts.number("count-tol", options.counter_ratio_tol);
+  options.hist_ratio_tol = opts.number("hist-tol", options.hist_ratio_tol);
+  options.min_total_ns = opts.number("min-ns", options.min_total_ns);
+
+  const obs::DiffReport report =
+      obs::diff_manifests(*baseline, obs::median_of(candidates), options);
+  if (opts.flag("json")) {
+    obs::write_json_report(std::cout, report);
+  } else {
+    obs::write_markdown_report(std::cout, report);
+  }
+  return report.ok() ? 0 : 1;
+}
+
 /// The [obs] report: a one-line manifest summary plus the final counter
-/// snapshot, on stderr so piped stdout output stays clean.
-void report(const std::string& command) {
+/// and histogram snapshots, on stderr so piped stdout output stays clean.
+/// With --manifest FILE the same manifest is also written as JSON.
+void report(const std::string& command, const Options& opts) {
   obs::Manifest manifest = obs::current_manifest();
   manifest.threads = common::worker_count();
   manifest.extra.emplace_back("command", command);
-  std::fprintf(stderr,
-               "[obs] manifest: sha=%s compiler=\"%s\" threads=%zu "
-               "wall=%.3fs obs=%s\n",
-               manifest.git_sha.c_str(), manifest.compiler.c_str(),
-               manifest.threads, manifest.wall_seconds,
-               manifest.obs_enabled ? "on" : "off");
-  for (const auto& [name, value] : manifest.counters) {
-    std::fprintf(stderr, "[obs] counter %-36s %llu\n", name.c_str(),
-                 static_cast<unsigned long long>(value));
+  if (!opts.flag("quiet")) {
+    std::fprintf(stderr,
+                 "[obs] manifest: sha=%s compiler=\"%s\" threads=%zu "
+                 "wall=%.3fs obs=%s\n",
+                 manifest.git_sha.c_str(), manifest.compiler.c_str(),
+                 manifest.threads, manifest.wall_seconds,
+                 manifest.obs_enabled ? "on" : "off");
+    for (const auto& [name, value] : manifest.counters) {
+      std::fprintf(stderr, "[obs] counter %-36s %llu\n", name.c_str(),
+                   static_cast<unsigned long long>(value));
+    }
+    for (const auto& [name, h] : manifest.histograms) {
+      std::fprintf(stderr,
+                   "[obs] hist    %-36s n=%llu min=%.4g max=%.4g p50=%.4g "
+                   "p90=%.4g p99=%.4g\n",
+                   name.c_str(), static_cast<unsigned long long>(h.count),
+                   h.min, h.max, h.p50, h.p90, h.p99);
+    }
+  }
+  if (const std::string path = opts.get("manifest", ""); !path.empty()) {
+    if (std::ofstream out(path); out) {
+      io::write_json_manifest(out, manifest);
+    } else {
+      std::fprintf(stderr, "[obs] cannot write manifest to %s\n",
+                   path.c_str());
+    }
   }
 }
 
@@ -286,6 +375,7 @@ int dispatch(const std::string& command, const Options& opts) {
   if (command == "opt") return cmd_opt(opts);
   if (command == "stats") return cmd_stats(opts);
   if (command == "bounds") return cmd_bounds(opts);
+  if (command == "obs-diff") return cmd_obs_diff(opts);
   return usage();
 }
 
@@ -299,7 +389,7 @@ int main(int argc, char** argv) {
     obs::set_trace_path(trace);
   }
   const int rc = dispatch(command, opts);
-  if (!opts.flag("quiet")) report(command);
+  report(command, opts);
   obs::flush_trace();
   return rc;
 }

@@ -6,9 +6,14 @@
 // detailed drivers; this tool is the "does the whole reproduction still
 // hold?" button.
 //
+// The markdown goes to stdout; an `[obs]` epilogue (counter and histogram
+// snapshot) goes to stderr, and the run manifest lands in BENCH_report.json
+// so obs-diff can compare report runs.
+//
 //   $ ./build/tools/qbss-report > report.md
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "analysis/bounds.hpp"
@@ -17,8 +22,12 @@
 #include "analysis/ratio_harness.hpp"
 #include "analysis/rho.hpp"
 #include "common/constants.hpp"
+#include "common/parallel_for.hpp"
 #include "gen/nested.hpp"
 #include "gen/random_instances.hpp"
+#include "io/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "qbss/adversary.hpp"
 #include "qbss/avrq.hpp"
 #include "qbss/avrq_m.hpp"
@@ -55,6 +64,38 @@ double worst_ratio(const analysis::SingleAlgorithm& algo, Make make,
                      nominal ? m.nominal_energy_ratio : m.energy_ratio);
   }
   return worst;
+}
+
+/// End-of-report observability epilogue, mirroring bench::finish(): the
+/// counter/histogram snapshot goes to stderr (stdout stays pure markdown)
+/// and the manifest lands in BENCH_report.json for obs-diff.
+void finish() {
+  qbss::obs::Manifest manifest = qbss::obs::current_manifest();
+  manifest.threads = qbss::common::worker_count();
+  manifest.extra.emplace_back("bench", "report");
+
+  std::fprintf(stderr,
+               "\n[obs] manifest: sha=%s compiler=\"%s\" threads=%zu "
+               "wall=%.3fs\n",
+               manifest.git_sha.c_str(), manifest.compiler.c_str(),
+               manifest.threads, manifest.wall_seconds);
+  for (const auto& [name, value] : manifest.counters) {
+    std::fprintf(stderr, "[obs] counter %-36s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, h] : manifest.histograms) {
+    std::fprintf(stderr,
+                 "[obs] hist    %-36s n=%llu min=%g max=%g p50=%g p90=%g "
+                 "p99=%g\n",
+                 name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.min, h.max, h.p50, h.p90, h.p99);
+  }
+
+  if (std::ofstream out("BENCH_report.json"); out) {
+    qbss::io::write_json_manifest(out, manifest);
+    std::fprintf(stderr, "[obs] manifest written to BENCH_report.json\n");
+  }
+  qbss::obs::flush_trace();
 }
 
 }  // namespace
@@ -176,5 +217,6 @@ int main() {
   std::printf("\n%s — %d failing rows.\n",
               failures == 0 ? "All checks passed" : "REPRODUCTION BROKEN",
               failures);
+  finish();
   return failures == 0 ? 0 : 1;
 }
