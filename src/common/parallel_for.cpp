@@ -11,7 +11,23 @@
 
 namespace qbss::common {
 
+namespace {
+
+/// Nonzero once set_worker_count installed an override (CLI --threads).
+std::atomic<std::size_t> worker_override{0};
+
+}  // namespace
+
+void set_worker_count(std::size_t threads) {
+  worker_override.store(threads, std::memory_order_relaxed);
+}
+
 std::size_t worker_count() {
+  if (const std::size_t forced =
+          worker_override.load(std::memory_order_relaxed);
+      forced != 0) {
+    return forced;
+  }
   if (const char* env = std::getenv("QBSS_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed >= 1) return static_cast<std::size_t>(parsed);

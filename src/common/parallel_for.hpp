@@ -13,10 +13,16 @@
 
 namespace qbss::common {
 
-/// Worker threads a sweep should use: the `QBSS_THREADS` environment
-/// variable when set (clamped to >= 1), otherwise
-/// std::thread::hardware_concurrency() (>= 1).
+/// Worker threads a sweep should use: the process-wide override set by
+/// set_worker_count when nonzero (CLI `--threads N`), otherwise the
+/// `QBSS_THREADS` environment variable when set (clamped to >= 1),
+/// otherwise std::thread::hardware_concurrency() (>= 1).
 [[nodiscard]] std::size_t worker_count();
+
+/// Installs a process-wide thread-count override taking precedence over
+/// `QBSS_THREADS` (the CLI `--threads` flag). 0 clears the override;
+/// any other value is clamped to >= 1. Call before fanning out work.
+void set_worker_count(std::size_t threads);
 
 /// Runs body(i) exactly once for every i in [0, count), fanned out over
 /// `threads` workers (the calling thread is one of them). `threads` == 0

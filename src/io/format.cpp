@@ -1,6 +1,10 @@
 #include "io/format.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <ios>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -93,6 +97,11 @@ void write_instance(std::ostream& out, const scheduling::Instance& instance) {
 
 void write_schedule(std::ostream& out, const scheduling::Schedule& schedule,
                     double alpha) {
+  // Scoped precision bump: rate pieces round-trip losslessly through
+  // read_schedule, and interleaved caller output stays untouched.
+  const std::ios_base::fmtflags flags = out.flags();
+  const std::streamsize precision = out.precision();
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "# energy(alpha=" << alpha << ") = " << schedule.energy(alpha)
       << "\n# max_speed = " << schedule.max_speed()
       << "\n# job begin end speed\n";
@@ -103,6 +112,57 @@ void write_schedule(std::ostream& out, const scheduling::Schedule& schedule,
           << '\n';
     }
   }
+  out.flags(flags);
+  out.precision(precision);
+}
+
+Parsed<scheduling::Schedule> read_schedule(std::istream& in,
+                                           std::size_t job_count) {
+  struct Piece {
+    std::size_t job;
+    Interval span;
+    Speed speed;
+  };
+  std::vector<Piece> pieces;
+  std::size_t max_id = 0;
+  bool any = false;
+
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (!data_line(line)) continue;
+    std::vector<double> cols;
+    if (!parse_columns(line, cols) || cols.size() != 4) {
+      return {std::nullopt, {number, "expected 4 numeric columns"}};
+    }
+    const double id = cols[0];
+    if (id < 0.0 || id != std::floor(id) ||
+        id > static_cast<double>(std::numeric_limits<int>::max())) {
+      return {std::nullopt, {number, "job id must be a small non-negative "
+                                     "integer"}};
+    }
+    const std::size_t job = static_cast<std::size_t>(id);
+    if (job_count != 0 && job >= job_count) {
+      return {std::nullopt, {number, "job id out of range"}};
+    }
+    if (!(cols[1] < cols[2])) {
+      return {std::nullopt, {number, "need begin < end"}};
+    }
+    if (cols[3] <= 0.0) {
+      return {std::nullopt, {number, "need speed > 0"}};
+    }
+    pieces.push_back(Piece{job, Interval{cols[1], cols[2]}, cols[3]});
+    max_id = std::max(max_id, job);
+    any = true;
+  }
+
+  const std::size_t jobs = job_count != 0 ? job_count : (any ? max_id + 1 : 0);
+  scheduling::ScheduleBuilder builder(jobs);
+  for (const Piece& p : pieces) {
+    builder.add_rate(static_cast<scheduling::JobId>(p.job), p.span, p.speed);
+  }
+  return {std::move(builder).build(), {}};
 }
 
 }  // namespace qbss::io

@@ -8,8 +8,9 @@
 //     1.0  5.0  0.4  2.0  2.0
 //
 // Classical instances use three columns (release deadline work).
-// Schedules are written, not read: one rate piece per line
-// (job begin end speed), preceded by summary comments.
+// Schedules round-trip: one rate piece per line (job begin end speed),
+// preceded by summary comments; read_schedule parses the same format
+// back (the loadgen re-validates served schedules through it).
 #pragma once
 
 #include <iosfwd>
@@ -50,8 +51,18 @@ void write_instance(std::ostream& out,
                     const scheduling::Instance& instance);
 
 /// Writes a fluid schedule: summary comments (energy at `alpha`, max
-/// speed), then one `job begin end speed` line per rate piece.
+/// speed), then one `job begin end speed` line per rate piece. Numbers
+/// carry max_digits10 precision so read_schedule round-trips losslessly.
 void write_schedule(std::ostream& out, const scheduling::Schedule& schedule,
                     double alpha);
+
+/// Reads a schedule dump written by write_schedule: comments and blank
+/// lines are ignored, each data line is `job begin end speed` with an
+/// integral job id. `job_count` fixes the number of rate functions (ids
+/// must stay below it); 0 derives it from the largest id seen. Pieces of
+/// one job may repeat or overlap — rates accumulate, as in
+/// ScheduleBuilder.
+[[nodiscard]] Parsed<scheduling::Schedule> read_schedule(
+    std::istream& in, std::size_t job_count = 0);
 
 }  // namespace qbss::io

@@ -1,0 +1,72 @@
+#include "svc/cache.hpp"
+
+#include "obs/registry.hpp"
+#include "svc/protocol.hpp"
+
+namespace qbss::svc {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  if (shards < 1) shards = 1;
+  if (capacity < shards) capacity = shards;  // >= 1 entry per shard
+  shard_capacity_ = capacity / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return *shards_[fnv1a(key) % shards_.size()];
+}
+
+bool ResultCache::get(const std::string& key, std::string* payload) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    QBSS_COUNT("svc.cache.miss");
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *payload = it->second->second;
+  QBSS_COUNT("svc.cache.hit");
+  return true;
+}
+
+void ResultCache::put(const std::string& key, std::string payload) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    it->second->second = std::move(payload);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(payload));
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evicted;
+    QBSS_COUNT("svc.cache.evicted");
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+std::size_t ResultCache::evictions() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->evicted;
+  }
+  return total;
+}
+
+}  // namespace qbss::svc

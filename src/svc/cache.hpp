@@ -1,0 +1,61 @@
+// qbss::svc result cache — a sharded LRU of serialized response
+// payloads keyed by the canonical request key (protocol.hpp).
+//
+// Shards are independent {mutex, LRU list, index} triples selected by
+// FNV-1a of the key, so concurrent readers on different shards never
+// contend. Capacity is split evenly across shards (at least one entry
+// each); eviction is per shard, strictly least-recently-used. Hits and
+// misses feed the `svc.cache.{hit,miss,evicted}` counters.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace qbss::svc {
+
+/// Thread-safe sharded LRU: key -> serialized response payload.
+class ResultCache {
+ public:
+  /// `capacity` total entries spread over `shards` shards (both clamped
+  /// to >= 1).
+  ResultCache(std::size_t capacity, std::size_t shards);
+
+  /// Copies the cached payload into *payload and refreshes recency.
+  [[nodiscard]] bool get(const std::string& key, std::string* payload);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's LRU tail when
+  /// full.
+  void put(const std::string& key, std::string payload);
+
+  /// Entries currently resident, summed over shards.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Entries evicted since construction, summed over shards.
+  [[nodiscard]] std::size_t evictions() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. Node addresses are stable, so the
+    /// index below stores iterators.
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    std::size_t evicted = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qbss::svc

@@ -1,0 +1,118 @@
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qbss::svc {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect_unix(const std::string& path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path too long";
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    if (error) *error = "connect " + path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connect_tcp(int port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    if (error) {
+      *error = "connect 127.0.0.1:" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::call(const Request& request, Reply* reply, std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  FrameHeader header;
+  header.request_id = next_id_++;
+  if (!write_frame(fd_, header, serialize_request(request), error)) {
+    return false;
+  }
+  // One outstanding request per connection: the next response frame with
+  // our id is the answer (ids catch desynchronized peers).
+  FrameHeader response;
+  std::string payload;
+  const ReadResult rc = read_frame(fd_, &response, &payload, error);
+  if (rc == ReadResult::kEof) {
+    if (error) *error = "server closed the connection";
+    return false;
+  }
+  if (rc == ReadResult::kError) return false;
+  if (response.request_id != header.request_id) {
+    if (error) *error = "response id mismatch";
+    return false;
+  }
+  reply->status = response.status;
+  reply->cache_hit = (response.flags & kFlagCacheHit) != 0;
+  reply->payload = std::move(payload);
+  return true;
+}
+
+bool Client::ping(std::string* error) {
+  Request request;
+  request.verb = Verb::kPing;
+  Reply reply;
+  if (!call(request, &reply, error)) return false;
+  if (reply.status != Status::kOk) {
+    if (error) *error = "ping rejected";
+    return false;
+  }
+  return true;
+}
+
+bool Client::shutdown_server(std::string* error) {
+  Request request;
+  request.verb = Verb::kShutdown;
+  Reply reply;
+  return call(request, &reply, error) && reply.status == Status::kOk;
+}
+
+}  // namespace qbss::svc

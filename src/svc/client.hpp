@@ -1,0 +1,54 @@
+// qbss::svc client — a blocking one-request-at-a-time connection to a
+// qbss serve endpoint. The loadgen drives many of these concurrently;
+// each Client owns one socket and matches responses by request id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/protocol.hpp"
+
+namespace qbss::svc {
+
+/// One framed connection. Not thread-safe; use one Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a Unix-domain socket path.
+  [[nodiscard]] bool connect_unix(const std::string& path,
+                                  std::string* error);
+
+  /// Connects to 127.0.0.1:`port`.
+  [[nodiscard]] bool connect_tcp(int port, std::string* error);
+
+  /// A response as it came off the wire.
+  struct Reply {
+    Status status = Status::kError;
+    bool cache_hit = false;
+    std::string payload;
+  };
+
+  /// Sends `request` and blocks for its response. False + *error on a
+  /// transport failure (a kShed/kError *reply* is still a true return).
+  [[nodiscard]] bool call(const Request& request, Reply* reply,
+                          std::string* error);
+
+  /// Round-trips a ping frame.
+  [[nodiscard]] bool ping(std::string* error);
+
+  /// Asks the server to shut down (best effort; waits for the ack).
+  [[nodiscard]] bool shutdown_server(std::string* error);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace qbss::svc

@@ -1,0 +1,129 @@
+// qbss::svc wire protocol — length-prefixed frames carrying text
+// request/response payloads over a stream socket (Unix-domain or TCP).
+//
+// Frame layout (24-byte little-endian header, then `payload_len` bytes):
+//
+//     u32 magic        "QSS1" (0x31535351)
+//     u32 status       request: 0; response: 0 ok / 1 shed / 2 error
+//     u32 flags        response bit 0: served from the result cache
+//     u32 payload_len  <= 64 MiB
+//     u64 request_id   echoed verbatim in the response
+//
+// The cache-hit bit lives in the *header* so a cached response's payload
+// stays byte-identical to the uncached one — the loadgen asserts exactly
+// that. Payloads are line-oriented text (`key: value` fields, then named
+// sections) reusing the io::format instance/schedule grammar, so served
+// schedules re-validate through the ordinary readers. docs/SERVICE.md
+// documents the grammar; docs/FORMATS.md the frame layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "qbss/qinstance.hpp"
+
+namespace qbss::svc {
+
+inline constexpr std::uint32_t kMagic = 0x31535351;  // "QSS1" on the wire
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+inline constexpr std::size_t kHeaderSize = 24;
+inline constexpr std::uint32_t kFlagCacheHit = 1u;
+
+/// Response disposition. Requests always carry kOk.
+enum class Status : std::uint32_t {
+  kOk = 0,     ///< result payload follows
+  kShed = 1,   ///< load-shedding: queue full or deadline expired
+  kError = 2,  ///< malformed request or failed computation
+};
+
+/// Decoded frame header (magic and length checks live in decode).
+struct FrameHeader {
+  Status status = Status::kOk;
+  std::uint32_t flags = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t request_id = 0;
+};
+
+/// Serializes `header` into the 24-byte little-endian wire form.
+void encode_header(const FrameHeader& header,
+                   unsigned char out[kHeaderSize]);
+
+/// Parses a wire header; false (with *error set) on bad magic, unknown
+/// status or an over-limit payload length.
+[[nodiscard]] bool decode_header(const unsigned char in[kHeaderSize],
+                                 FrameHeader* header, std::string* error);
+
+/// Outcome of read_frame: a frame, clean end-of-stream, or a failure.
+enum class ReadResult { kFrame, kEof, kError };
+
+/// Writes one frame (header + payload) to `fd`, handling partial writes
+/// and EINTR; never raises SIGPIPE. False + *error on failure.
+[[nodiscard]] bool write_frame(int fd, const FrameHeader& header,
+                               std::string_view payload, std::string* error);
+
+/// Reads one frame from `fd`. kEof only when the stream ends cleanly
+/// between frames; a torn header or payload is kError.
+[[nodiscard]] ReadResult read_frame(int fd, FrameHeader* header,
+                                    std::string* payload, std::string* error);
+
+/// What a request asks the server to do.
+enum class Verb { kSolve, kPing, kShutdown };
+
+/// One decoded request. `deadline_ms` bounds the time a solve may sit in
+/// the admission queue (0 = unbounded); `want_schedule` asks for the
+/// expanded classical instance and schedule dump in the response.
+struct Request {
+  Verb verb = Verb::kSolve;
+  std::string algo = "bkpq";
+  double alpha = 3.0;
+  int machines = 4;
+  bool want_schedule = false;
+  double deadline_ms = 0.0;
+  core::QInstance instance;
+};
+
+/// Renders the text payload for `request`.
+[[nodiscard]] std::string serialize_request(const Request& request);
+
+/// Parses a request payload; false + *error on malformed input (errors
+/// inside the instance section carry the section-relative line number).
+[[nodiscard]] bool parse_request(const std::string& payload, Request* out,
+                                 std::string* error);
+
+/// Canonical result-cache key: an exact (collision-free) serialization
+/// of every result-determining field — algo, alpha bit pattern,
+/// machines (for avrq_m only), the schedule flag, and each job's five
+/// doubles as bit patterns with -0.0 normalized to +0.0. Two requests
+/// share a key iff the server would produce byte-identical payloads.
+[[nodiscard]] std::string cache_key(const Request& request);
+
+/// 64-bit FNV-1a — the cache's shard selector.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+/// Runs the requested policy and renders the canonical ok-payload
+/// (deterministic: equal requests give byte-identical payloads). False +
+/// *error on unknown algo, empty instance, or an unsupported combination
+/// (schedule dump for avrq_m).
+[[nodiscard]] bool solve_request(const Request& request, std::string* payload,
+                                 std::string* error);
+
+/// Parsed form of a solve ok-payload (loadgen / test side).
+struct SolveResult {
+  std::string algo;
+  double alpha = 0.0;
+  std::size_t jobs = 0;
+  int machines = 0;  ///< 0 unless the avrq_m path answered
+  int queried = 0;
+  bool valid = false;
+  double energy = 0.0;
+  double max_speed = 0.0;
+  std::string classical_text;  ///< 3-column section, empty if absent
+  std::string schedule_text;   ///< schedule dump section, empty if absent
+};
+
+/// Parses a solve ok-payload; false + *error on malformed input.
+[[nodiscard]] bool parse_solve_result(const std::string& payload,
+                                      SolveResult* out, std::string* error);
+
+}  // namespace qbss::svc

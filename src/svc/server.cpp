@@ -1,0 +1,409 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "io/json.hpp"
+#include "obs/histogram.hpp"
+#include "obs/manifest.hpp"
+#include "obs/span.hpp"
+
+namespace qbss::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+bool deadline_expired(Clock::time_point admitted, double deadline_ms) {
+  if (deadline_ms <= 0.0) return false;
+  return elapsed_us(admitted) > deadline_ms * 1000.0;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Connection::~Connection() { close_fd(fd); }
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_entries, config_.cache_shards) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.queue_depth < 1) config_.queue_depth = 1;
+  if (config_.batch < 1) config_.batch = 1;
+}
+
+Server::~Server() {
+  shutdown();
+  wait();
+}
+
+bool Server::start(std::string* error) {
+  if (config_.socket_path.empty() && config_.tcp_port == 0) {
+    if (error) *error = "no endpoint: need a socket path or a TCP port";
+    return false;
+  }
+
+  if (!config_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+      if (error) *error = "socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (error) *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    ::unlink(config_.socket_path.c_str());  // stale socket from a crash
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+      if (error) {
+        *error = "bind/listen " + config_.socket_path + ": " +
+                 std::strerror(errno);
+      }
+      ::close(fd);
+      return false;
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  if (config_.tcp_port != 0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (error) *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+      if (error) {
+        *error = "bind/listen 127.0.0.1:" + std::to_string(config_.tcp_port) +
+                 ": " + std::strerror(errno);
+      }
+      ::close(fd);
+      return false;
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock every reader stuck in recv; fds stay open (and numbers
+  // un-reused) until the last Connection reference drops.
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& conn : conns_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+
+  // Readers are gone, so the queue only shrinks now: workers drain the
+  // remaining backlog (bounded by queue_depth) and exit.
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+
+  for (int& fd : listen_fds_) close_fd(fd);
+  if (!config_.socket_path.empty()) {
+    ::unlink(config_.socket_path.c_str());
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  if (!config_.manifest_path.empty()) {
+    write_manifest();
+    config_.manifest_path.clear();  // once per lifetime
+  }
+}
+
+void Server::accept_loop() {
+  std::vector<pollfd> pfds;
+  pfds.reserve(listen_fds_.size());
+  for (const int fd : listen_fds_) {
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (config_.external_stop != nullptr &&
+        config_.external_stop->load(std::memory_order_relaxed)) {
+      shutdown();
+      break;
+    }
+    for (pollfd& p : pfds) p.revents = 0;
+    const int ready = ::poll(pfds.data(), pfds.size(), 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    for (const pollfd& p : pfds) {
+      if ((p.revents & POLLIN) == 0) continue;
+      const int fd = ::accept4(p.fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) continue;
+      if (stopping_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        continue;
+      }
+      QBSS_COUNT("svc.connections");
+      auto conn = std::make_shared<Connection>(fd);
+      const std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+      readers_.emplace_back(
+          [this, conn = std::move(conn)]() mutable { reader_loop(conn); });
+    }
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string payload;
+  std::string error;
+  for (;;) {
+    FrameHeader header;
+    const ReadResult rc = read_frame(conn->fd, &header, &payload, &error);
+    if (rc != ReadResult::kFrame) break;
+    QBSS_COUNT("svc.requests");
+    handle_request(conn, header.request_id, payload);
+    if (stopping_.load(std::memory_order_acquire)) break;
+  }
+}
+
+void Server::handle_request(const std::shared_ptr<Connection>& conn,
+                            std::uint64_t request_id,
+                            const std::string& payload) {
+  QBSS_SPAN("svc.request");
+  const Clock::time_point admitted = Clock::now();
+  Request request;
+  std::string error;
+  if (!parse_request(payload, &request, &error)) {
+    QBSS_COUNT("svc.errors");
+    respond(Waiter{conn, request_id, admitted, 0.0}, Status::kError, 0,
+            "message: " + error + "\n");
+    return;
+  }
+
+  if (request.verb == Verb::kPing) {
+    respond(Waiter{conn, request_id, admitted, 0.0}, Status::kOk, 0, "pong\n");
+    return;
+  }
+  if (request.verb == Verb::kShutdown) {
+    respond(Waiter{conn, request_id, admitted, 0.0}, Status::kOk, 0, "bye\n");
+    shutdown();
+    return;
+  }
+
+  const std::string key = cache_key(request);
+  const Waiter self{conn, request_id, admitted, request.deadline_ms};
+
+  std::string cached;
+  if (cache_.get(key, &cached)) {
+    respond(self, Status::kOk, kFlagCacheHit, cached);
+    return;
+  }
+
+  auto inflight = std::make_shared<Inflight>();
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      // Identical request already computing: join it, no second solve.
+      QBSS_COUNT("svc.coalesced");
+      it->second->waiters.push_back(self);
+      return;
+    }
+    inflight->waiters.push_back(self);
+    inflight_.emplace(key, inflight);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= config_.queue_depth) {
+      lock.unlock();
+      // Undo the in-flight registration and shed every rider (another
+      // reader may have coalesced onto it between the two locks).
+      std::vector<Waiter> riders;
+      {
+        const std::lock_guard<std::mutex> ilock(inflight_mu_);
+        riders = std::move(inflight->waiters);
+        inflight_.erase(key);
+      }
+      for (const Waiter& w : riders) {
+        QBSS_COUNT("svc.shed.queue");
+        respond(w, Status::kShed, 0, "reason: queue_full\n");
+      }
+      return;
+    }
+    queue_.push_back(Task{key, std::move(request), std::move(inflight)});
+    QBSS_COUNT("svc.admitted");
+    QBSS_HIST("svc.queue_depth", static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<Task> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      // Batch drain: group small requests into one wakeup.
+      const std::size_t take = std::min(config_.batch, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    QBSS_COUNT("svc.batches");
+    QBSS_HIST("svc.batch_size", static_cast<double>(batch.size()));
+    for (Task& task : batch) process_task(task);
+  }
+}
+
+void Server::process_task(Task& task) {
+  // Shed waiters whose deadline expired while queued; if nobody is left
+  // the computation is skipped entirely.
+  std::vector<Waiter> expired;
+  bool skip = false;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto& waiters = task.inflight->waiters;
+    for (std::size_t i = 0; i < waiters.size();) {
+      if (deadline_expired(waiters[i].admitted, waiters[i].deadline_ms)) {
+        expired.push_back(std::move(waiters[i]));
+        waiters.erase(waiters.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (waiters.empty()) {
+      inflight_.erase(task.key);
+      skip = true;
+    }
+  }
+  for (const Waiter& w : expired) {
+    QBSS_COUNT("svc.shed.deadline");
+    respond(w, Status::kShed, 0, "reason: deadline\n");
+  }
+  if (skip) return;
+
+  if (config_.delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(config_.delay_ms));
+  }
+
+  std::string payload;
+  std::string error;
+  const bool ok = solve_request(task.request, &payload, &error);
+  if (ok) {
+    // Publish before retiring the in-flight entry so an identical
+    // request arriving in between hits the cache instead of recomputing.
+    cache_.put(task.key, payload);
+  } else {
+    QBSS_COUNT("svc.errors");
+    payload = "message: " + error + "\n";
+  }
+
+  std::vector<Waiter> waiters;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mu_);
+    waiters = std::move(task.inflight->waiters);
+    inflight_.erase(task.key);
+  }
+  for (const Waiter& w : waiters) {
+    respond(w, ok ? Status::kOk : Status::kError, 0, payload);
+  }
+}
+
+void Server::respond(const Waiter& waiter, Status status, std::uint32_t flags,
+                     const std::string& payload) {
+  QBSS_HIST("svc.latency_us", elapsed_us(waiter.admitted));
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  FrameHeader header;
+  header.status = status;
+  header.flags = flags;
+  header.request_id = waiter.request_id;
+  std::string error;
+  const std::lock_guard<std::mutex> lock(waiter.conn->write_mu);
+  // A vanished client is not a server failure; the write error is
+  // deliberately dropped (EPIPE after shutdown is the normal case).
+  static_cast<void>(write_frame(waiter.conn->fd, header, payload, &error));
+}
+
+void Server::write_manifest() {
+  obs::Manifest manifest = obs::current_manifest();
+  manifest.threads = config_.workers;
+  manifest.extra.emplace_back("command", "serve");
+  manifest.extra.emplace_back("workers", std::to_string(config_.workers));
+  manifest.extra.emplace_back("queue_depth",
+                              std::to_string(config_.queue_depth));
+  manifest.extra.emplace_back("cache_entries",
+                              std::to_string(config_.cache_entries));
+  manifest.extra.emplace_back("cache_shards",
+                              std::to_string(config_.cache_shards));
+  manifest.extra.emplace_back("batch", std::to_string(config_.batch));
+  manifest.extra.emplace_back("responses", std::to_string(responses()));
+  manifest.extra.emplace_back("cache_size", std::to_string(cache_.size()));
+  manifest.extra.emplace_back("cache_evictions",
+                              std::to_string(cache_.evictions()));
+  for (const auto& [key, value] : config_.manifest_extra) {
+    manifest.extra.emplace_back(key, value);
+  }
+  if (std::ofstream out(config_.manifest_path); out) {
+    io::write_json_manifest(out, manifest);
+  }
+}
+
+}  // namespace qbss::svc

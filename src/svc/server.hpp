@@ -1,0 +1,151 @@
+// qbss::svc server — a resident scheduling service.
+//
+// Architecture (docs/SERVICE.md has the full story):
+//
+//   accept loop ──> one reader thread per connection
+//                     │ parse frame, check result cache (hit → respond)
+//                     │ coalesce onto an identical in-flight request, or
+//                     │ admit into the bounded queue (full → shed)
+//   worker pool <─────┘ drain up to `batch` tasks per wakeup, drop
+//                       deadline-expired waiters, solve once, cache,
+//                       respond to every coalesced waiter
+//
+// Backpressure is structural: the admission queue never exceeds
+// `queue_depth`, so overload turns into immediate `shed` responses
+// instead of unbounded latency. Every stage feeds `svc.*` counters,
+// latency/queue-depth/batch-size histograms and Chrome-trace spans, and
+// shutdown writes a manifest epilogue (`BENCH_svc.json` by default from
+// the CLI) that `qbss obs-diff` can gate on.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/protocol.hpp"
+
+namespace qbss::svc {
+
+/// Everything a Server needs to know at start().
+struct ServerConfig {
+  std::string socket_path;  ///< Unix-domain socket path ("" = no UDS)
+  int tcp_port = 0;         ///< 127.0.0.1 TCP listener (0 = off)
+  std::size_t workers = 2;
+  std::size_t queue_depth = 64;   ///< admission queue bound (>= 1)
+  std::size_t cache_entries = 1024;
+  std::size_t cache_shards = 8;
+  std::size_t batch = 4;     ///< max tasks drained per worker wakeup
+  double delay_ms = 0.0;     ///< artificial per-solve delay (soak knob)
+  std::string manifest_path; ///< manifest epilogue at shutdown ("" = none)
+  /// Extra manifest key/values (the CLI records its flags here).
+  std::vector<std::pair<std::string, std::string>> manifest_extra;
+  /// Optional externally-owned stop flag (signal handlers set it; the
+  /// accept loop polls it every ~100 ms and initiates shutdown).
+  const std::atomic<bool>* external_stop = nullptr;
+};
+
+/// The resident scheduling service. Lifecycle: construct, start(),
+/// wait() from a thread that is NOT one of the server's own (wait joins
+/// them). shutdown() is idempotent and callable from any thread,
+/// including reader threads (a client `shutdown` frame triggers it).
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on the configured endpoints, then spawns the
+  /// accept loop and worker pool. False + *error on any setup failure.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Blocks until shutdown is initiated, then joins every thread,
+  /// answers the remaining backlog, writes the manifest epilogue and
+  /// removes the socket file.
+  void wait();
+
+  /// Initiates shutdown: stop accepting, unblock readers and workers.
+  void shutdown();
+
+  /// Requests served so far (responses of any status).
+  [[nodiscard]] std::uint64_t responses() const noexcept {
+    return responses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One client connection. The fd closes when the last reference
+  /// drops (readers and pending waiters share ownership), so responses
+  /// racing a disconnect write to a valid-but-dead socket, never to a
+  /// reused descriptor.
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mu;  ///< one response frame leaves at a time
+  };
+
+  /// A response destination for one admitted or coalesced request.
+  struct Waiter {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t request_id = 0;
+    std::chrono::steady_clock::time_point admitted;
+    double deadline_ms = 0.0;
+  };
+
+  /// An in-flight computation; identical requests append themselves as
+  /// waiters instead of recomputing.
+  struct Inflight {
+    std::vector<Waiter> waiters;
+  };
+
+  /// One queued computation.
+  struct Task {
+    std::string key;
+    Request request;
+    std::shared_ptr<Inflight> inflight;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+  void handle_request(const std::shared_ptr<Connection>& conn,
+                      std::uint64_t request_id, const std::string& payload);
+  void process_task(Task& task);
+  void respond(const Waiter& waiter, Status status, std::uint32_t flags,
+               const std::string& payload);
+  void write_manifest();
+
+  ServerConfig config_;
+  ResultCache cache_;
+
+  std::vector<int> listen_fds_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> responses_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;  ///< appended only by the accept loop
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+};
+
+}  // namespace qbss::svc

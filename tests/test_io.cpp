@@ -88,6 +88,131 @@ TEST(IoSchedule, WritesSummaryAndPieces) {
   EXPECT_NE(text.find("0 0 2 2"), std::string::npos);
 }
 
+TEST(IoQInstance, RejectsNegativeExactLoadWithLineNumber) {
+  std::istringstream in(
+      "0.0 4.0 0.5 3.0 1.0\n"
+      "# a comment, which still counts toward the line number\n"
+      "0.0 4.0 0.5 3.0 -1.0\n");  // w* < 0
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error.line, 3);
+  EXPECT_NE(parsed.error.message.find("w*"), std::string::npos);
+}
+
+TEST(IoQInstance, RejectsExactLoadAboveUpperBound) {
+  std::istringstream in("0.0 4.0 0.5 3.0 3.5\n");  // w* > w
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error.line, 1);
+}
+
+TEST(IoQInstance, RejectsDeadlineAtOrBeforeRelease) {
+  std::istringstream in(
+      "0.0 4.0 0.5 3.0 1.0\n"
+      "5.0 5.0 0.5 3.0 1.0\n");  // d == r
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error.line, 2);
+
+  std::istringstream reversed("5.0 4.0 0.5 3.0 1.0\n");  // d < r
+  EXPECT_FALSE(read_qinstance(reversed));
+}
+
+TEST(IoQInstance, RejectsNonNumericColumn) {
+  std::istringstream in("0.0 4.0 half 3.0 1.0\n");
+  const Parsed<core::QInstance> parsed = read_qinstance(in);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error.line, 1);
+}
+
+TEST(IoInstance, RejectsWrongColumnCountWithLineNumber) {
+  std::istringstream in(
+      "0 2 4\n"
+      "1 3\n");
+  const Parsed<scheduling::Instance> parsed = read_instance(in);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error.line, 2);
+}
+
+TEST(IoInstance, RejectsNegativeWork) {
+  std::istringstream in("0 2 -4\n");
+  const Parsed<scheduling::Instance> parsed = read_instance(in);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error.line, 1);
+}
+
+TEST(IoSchedule, RoundTripsLosslessly) {
+  const core::QInstance qinstance =
+      gen::random_online(20, 10.0, 0.5, 4.0, 7);
+  scheduling::Instance inst;
+  for (const core::QJob& job : qinstance.jobs()) {
+    inst.add(job.release, job.deadline, job.upper_bound);
+  }
+  const scheduling::Schedule original = scheduling::yds(inst);
+
+  std::ostringstream out;
+  write_schedule(out, original, 2.5);
+  std::istringstream in(out.str());
+  const Parsed<scheduling::Schedule> parsed =
+      read_schedule(in, inst.size());
+  ASSERT_TRUE(parsed) << parsed.error.message;
+
+  // write_schedule prints max_digits10 digits, so the round-trip is
+  // bit-exact, not merely close.
+  EXPECT_EQ(parsed.value->energy(2.5), original.energy(2.5));
+  EXPECT_EQ(parsed.value->max_speed(), original.max_speed());
+}
+
+TEST(IoSchedule, ReadDerivesJobCountWhenUnspecified) {
+  std::istringstream in(
+      "# job begin end speed\n"
+      "0 0 1 2\n"
+      "2 1 3 0.5\n");
+  const Parsed<scheduling::Schedule> parsed = read_schedule(in);
+  ASSERT_TRUE(parsed) << parsed.error.message;
+  EXPECT_DOUBLE_EQ(parsed.value->max_speed(), 2.0);
+}
+
+TEST(IoSchedule, ReadRejectsMalformedRows) {
+  {
+    std::istringstream in("0 0 1\n");  // 3 columns
+    const Parsed<scheduling::Schedule> parsed = read_schedule(in);
+    ASSERT_FALSE(parsed);
+    EXPECT_EQ(parsed.error.line, 1);
+  }
+  {
+    std::istringstream in(
+        "0 0 1 2\n"
+        "0 3 3 2\n");  // begin == end
+    const Parsed<scheduling::Schedule> parsed = read_schedule(in);
+    ASSERT_FALSE(parsed);
+    EXPECT_EQ(parsed.error.line, 2);
+    EXPECT_NE(parsed.error.message.find("begin < end"),
+              std::string::npos);
+  }
+  {
+    std::istringstream in("0 0 1 0\n");  // speed == 0
+    EXPECT_FALSE(read_schedule(in));
+  }
+  {
+    std::istringstream in("1.5 0 1 2\n");  // fractional job id
+    const Parsed<scheduling::Schedule> parsed = read_schedule(in);
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error.message.find("job id"), std::string::npos);
+  }
+  {
+    std::istringstream in("-1 0 1 2\n");  // negative job id
+    EXPECT_FALSE(read_schedule(in));
+  }
+  {
+    std::istringstream in("5 0 1 2\n");  // beyond the declared count
+    const Parsed<scheduling::Schedule> parsed = read_schedule(in, 3);
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error.message.find("out of range"),
+              std::string::npos);
+  }
+}
+
 TEST(IoQInstance, EmptyInputYieldsEmptyInstance) {
   std::istringstream in("# only comments\n\n");
   const Parsed<core::QInstance> parsed = read_qinstance(in);

@@ -1,0 +1,484 @@
+// Tests for qbss::svc: frame header round-trips, request payload
+// serialize/parse round-trips and rejection paths, canonical cache keys,
+// the sharded LRU result cache, and an end-to-end server over a /tmp
+// Unix-domain socket (energy parity with a direct core run, cache-hit
+// byte-identity, queue-full and deadline shedding, coalescing, and the
+// manifest epilogue written at shutdown).
+#include "svc/cache.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/random_instances.hpp"
+#include "io/format.hpp"
+#include "obs/diff.hpp"
+#include "qbss/bkpq.hpp"
+#include "scheduling/schedule.hpp"
+
+namespace qbss::svc {
+namespace {
+
+core::QInstance small_instance(std::uint64_t seed) {
+  return gen::random_online(8, 10.0, 0.5, 4.0, seed);
+}
+
+/// A /tmp socket path unique to this process and test (sun_path caps
+/// paths at ~107 bytes, so the build tree is not an option).
+std::string socket_path(const char* tag) {
+  return "/tmp/qbss-test-" + std::to_string(::getpid()) + "-" + tag +
+         ".sock";
+}
+
+TEST(Protocol, HeaderRoundTrip) {
+  FrameHeader header;
+  header.status = Status::kShed;
+  header.flags = kFlagCacheHit;
+  header.payload_len = 12345;
+  header.request_id = 0xfeedfacecafebeefULL;
+
+  unsigned char wire[kHeaderSize];
+  encode_header(header, wire);
+  FrameHeader back;
+  std::string error;
+  ASSERT_TRUE(decode_header(wire, &back, &error)) << error;
+  EXPECT_EQ(back.status, Status::kShed);
+  EXPECT_EQ(back.flags, kFlagCacheHit);
+  EXPECT_EQ(back.payload_len, 12345u);
+  EXPECT_EQ(back.request_id, 0xfeedfacecafebeefULL);
+}
+
+TEST(Protocol, HeaderRejectsBadMagicAndOversize) {
+  FrameHeader header;
+  unsigned char wire[kHeaderSize];
+  encode_header(header, wire);
+  wire[0] ^= 0xff;  // corrupt the magic
+  FrameHeader back;
+  std::string error;
+  EXPECT_FALSE(decode_header(wire, &back, &error));
+
+  header.payload_len = kMaxPayload + 1;
+  encode_header(header, wire);
+  error.clear();
+  EXPECT_FALSE(decode_header(wire, &back, &error));
+  EXPECT_NE(error.find("payload"), std::string::npos);
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  Request request;
+  request.algo = "crcd";
+  request.alpha = 2.25;
+  request.machines = 3;
+  request.want_schedule = true;
+  request.deadline_ms = 17.5;
+  request.instance = small_instance(7);
+
+  Request back;
+  std::string error;
+  ASSERT_TRUE(parse_request(serialize_request(request), &back, &error))
+      << error;
+  EXPECT_EQ(back.verb, Verb::kSolve);
+  EXPECT_EQ(back.algo, "crcd");
+  EXPECT_EQ(back.alpha, 2.25);
+  EXPECT_EQ(back.machines, 3);
+  EXPECT_TRUE(back.want_schedule);
+  EXPECT_EQ(back.deadline_ms, 17.5);
+  ASSERT_EQ(back.instance.size(), request.instance.size());
+  for (std::size_t i = 0; i < back.instance.size(); ++i) {
+    const auto& a = request.instance.jobs()[i];
+    const auto& b = back.instance.jobs()[i];
+    EXPECT_EQ(a.release, b.release);
+    EXPECT_EQ(a.deadline, b.deadline);
+    EXPECT_EQ(a.query_cost, b.query_cost);
+    EXPECT_EQ(a.upper_bound, b.upper_bound);
+    EXPECT_EQ(a.exact_load, b.exact_load);
+  }
+}
+
+TEST(Protocol, ParseRequestRejectsMalformedPayloads) {
+  Request out;
+  std::string error;
+  EXPECT_FALSE(parse_request("nonsense\n", &out, &error));
+
+  // alpha outside (1, 100].
+  EXPECT_FALSE(parse_request(
+      "qbss-svc/1 solve\nalgo: bkpq\nalpha: 1\ninstance:\n0 1 0.1 1 1\n",
+      &out, &error));
+  EXPECT_NE(error.find("alpha"), std::string::npos);
+
+  // Unknown field.
+  EXPECT_FALSE(parse_request(
+      "qbss-svc/1 solve\nbogus: 1\ninstance:\n0 1 0.1 1 1\n", &out,
+      &error));
+
+  // Missing instance section.
+  EXPECT_FALSE(
+      parse_request("qbss-svc/1 solve\nalgo: bkpq\n", &out, &error));
+  EXPECT_NE(error.find("instance"), std::string::npos);
+
+  // Instance errors carry the section-relative line number.
+  EXPECT_FALSE(parse_request(
+      "qbss-svc/1 solve\ninstance:\n0 1 0.1 1\n", &out, &error));
+  EXPECT_NE(error.find("instance line 1"), std::string::npos);
+}
+
+TEST(Protocol, CacheKeySeparatesResultDeterminingFields) {
+  Request request;
+  request.instance = small_instance(3);
+  const std::string base = cache_key(request);
+  EXPECT_EQ(cache_key(request), base) << "key must be deterministic";
+
+  Request other = request;
+  other.algo = "crcd";
+  EXPECT_NE(cache_key(other), base);
+
+  other = request;
+  other.alpha = request.alpha + 0.5;
+  EXPECT_NE(cache_key(other), base);
+
+  other = request;
+  other.want_schedule = !request.want_schedule;
+  EXPECT_NE(cache_key(other), base);
+
+  other = request;
+  other.instance = small_instance(4);
+  EXPECT_NE(cache_key(other), base);
+
+  // deadline_ms is delivery policy, not a result-determining field.
+  other = request;
+  other.deadline_ms = 99.0;
+  EXPECT_EQ(cache_key(other), base);
+
+  // machines only matters for the multi-machine policy.
+  other = request;
+  other.machines = request.machines + 1;
+  EXPECT_EQ(cache_key(other), base);
+  other.algo = "avrq_m";
+  Request multi = request;
+  multi.algo = "avrq_m";
+  EXPECT_NE(cache_key(other), cache_key(multi));
+
+  // -0.0 loads normalize to +0.0 (same value, same schedule).
+  Request zero_a;
+  zero_a.instance.add(0.0, 4.0, 0.5, 2.0, 0.0);
+  Request zero_b;
+  zero_b.instance.add(-0.0, 4.0, 0.5, 2.0, 0.0);
+  EXPECT_EQ(cache_key(zero_a), cache_key(zero_b));
+}
+
+TEST(Protocol, SolveMatchesDirectRunAndIsDeterministic) {
+  Request request;
+  request.algo = "bkpq";
+  request.alpha = 2.5;
+  request.want_schedule = true;
+  request.instance = small_instance(11);
+
+  std::string payload;
+  std::string error;
+  ASSERT_TRUE(solve_request(request, &payload, &error)) << error;
+  std::string again;
+  ASSERT_TRUE(solve_request(request, &again, &error)) << error;
+  EXPECT_EQ(payload, again) << "equal requests must render identically";
+
+  SolveResult result;
+  ASSERT_TRUE(parse_solve_result(payload, &result, &error)) << error;
+  EXPECT_EQ(result.algo, "bkpq");
+  EXPECT_TRUE(result.valid);
+  const core::QbssRun direct = core::bkpq(request.instance);
+  EXPECT_DOUBLE_EQ(result.energy, direct.energy(request.alpha));
+  EXPECT_DOUBLE_EQ(result.max_speed, direct.max_speed());
+
+  // The dumped schedule re-validates through the ordinary readers.
+  ASSERT_FALSE(result.classical_text.empty());
+  ASSERT_FALSE(result.schedule_text.empty());
+  std::istringstream classical_in(result.classical_text);
+  std::istringstream schedule_in(result.schedule_text);
+  const io::Parsed<scheduling::Instance> classical =
+      io::read_instance(classical_in);
+  ASSERT_TRUE(classical) << classical.error.message;
+  const io::Parsed<scheduling::Schedule> schedule =
+      io::read_schedule(schedule_in, classical.value->size());
+  ASSERT_TRUE(schedule) << schedule.error.message;
+  EXPECT_TRUE(scheduling::validate(*classical.value, *schedule.value)
+                  .feasible);
+}
+
+TEST(Protocol, SolveRejectsUnknownAlgoAndEmptyInstance) {
+  Request request;
+  request.algo = "no-such-policy";
+  request.instance = small_instance(1);
+  std::string payload;
+  std::string error;
+  EXPECT_FALSE(solve_request(request, &payload, &error));
+  EXPECT_NE(error.find("algo"), std::string::npos);
+
+  request.algo = "bkpq";
+  request.instance = core::QInstance{};
+  EXPECT_FALSE(solve_request(request, &payload, &error));
+}
+
+TEST(Cache, LruEvictsOldestAndRefreshesOnGet) {
+  ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  std::string value;
+  EXPECT_TRUE(cache.get("a", &value));  // refresh: "a" becomes MRU
+  EXPECT_EQ(value, "1");
+  cache.put("c", "3");  // evicts "b", the LRU entry
+  EXPECT_FALSE(cache.get("b", &value));
+  EXPECT_TRUE(cache.get("a", &value));
+  EXPECT_TRUE(cache.get("c", &value));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.put("a", "updated");
+  EXPECT_TRUE(cache.get("a", &value));
+  EXPECT_EQ(value, "updated");
+  EXPECT_EQ(cache.size(), 2u) << "put of an existing key must not grow";
+}
+
+TEST(Cache, ShardedCapacityHoldsManyKeys) {
+  ResultCache cache(/*capacity=*/64, /*shards=*/8);
+  for (int i = 0; i < 64; ++i) {
+    cache.put("key" + std::to_string(i), std::to_string(i));
+  }
+  std::size_t present = 0;
+  std::string value;
+  for (int i = 0; i < 64; ++i) {
+    if (cache.get("key" + std::to_string(i), &value)) ++present;
+  }
+  // Per-shard LRU: uneven shard fill may evict a few, never most.
+  EXPECT_GE(present, 48u);
+}
+
+/// Spins up a server on a fresh /tmp socket, runs `body(path)`, then
+/// shuts down and returns the manifest path (which `body` may ignore).
+template <typename Body>
+void with_server(ServerConfig config, const char* tag, Body body) {
+  const std::string path = socket_path(tag);
+  config.socket_path = path;
+  Server server(std::move(config));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  body(path, server);
+  server.shutdown();
+  server.wait();
+  std::remove(path.c_str());
+}
+
+TEST(Server, SolvesCachesAndServesByteIdenticalResults) {
+  ServerConfig config;
+  config.workers = 2;
+  const std::string manifest_path =
+      "/tmp/qbss-test-" + std::to_string(::getpid()) + "-manifest.json";
+  config.manifest_path = manifest_path;
+  config.manifest_extra.emplace_back("command", "test");
+
+  with_server(config, "solve", [](const std::string& path, Server&) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+    ASSERT_TRUE(client.ping(&error)) << error;
+
+    Request request;
+    request.algo = "bkpq";
+    request.alpha = 3.0;
+    request.instance = small_instance(21);
+
+    Client::Reply first;
+    ASSERT_TRUE(client.call(request, &first, &error)) << error;
+    ASSERT_EQ(first.status, Status::kOk) << first.payload;
+    EXPECT_FALSE(first.cache_hit);
+
+    SolveResult result;
+    ASSERT_TRUE(parse_solve_result(first.payload, &result, &error))
+        << error;
+    const core::QbssRun direct = core::bkpq(request.instance);
+    EXPECT_DOUBLE_EQ(result.energy, direct.energy(request.alpha));
+
+    // The same request from a different connection must be answered
+    // from the cache, byte-identically.
+    Client other;
+    ASSERT_TRUE(other.connect_unix(path, &error)) << error;
+    Client::Reply second;
+    ASSERT_TRUE(other.call(request, &second, &error)) << error;
+    ASSERT_EQ(second.status, Status::kOk);
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(second.payload, first.payload);
+  });
+
+  // The shutdown epilogue must parse back through the manifest reader
+  // (the same path `qbss obs-diff` uses) and record the extras.
+  std::string load_error;
+  const std::optional<obs::ManifestData> manifest =
+      obs::load_manifest_file(manifest_path, &load_error);
+  ASSERT_TRUE(manifest.has_value()) << load_error;
+  std::ifstream raw_in(manifest_path);
+  std::stringstream raw;
+  raw << raw_in.rdbuf();
+  EXPECT_NE(raw.str().find("\"command\""), std::string::npos);
+  EXPECT_NE(raw.str().find("\"test\""), std::string::npos);
+#ifndef QBSS_OBS_OFF
+  EXPECT_GT(manifest->counters.count("svc.requests"), 0u);
+  EXPECT_GT(manifest->counters.count("svc.cache.hit"), 0u);
+#endif
+  std::remove(manifest_path.c_str());
+}
+
+TEST(Server, MalformedPayloadGetsErrorStatusNotDisconnect) {
+  ServerConfig config;
+  config.workers = 1;
+  with_server(config, "error", [](const std::string& path, Server&) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+
+    Request bad;
+    bad.algo = "no-such-policy";
+    bad.instance = small_instance(2);
+    Client::Reply reply;
+    ASSERT_TRUE(client.call(bad, &reply, &error)) << error;
+    EXPECT_EQ(reply.status, Status::kError);
+    EXPECT_NE(reply.payload.find("message:"), std::string::npos);
+
+    // The connection survives; a good request still works.
+    Request good;
+    good.instance = small_instance(2);
+    ASSERT_TRUE(client.call(good, &reply, &error)) << error;
+    EXPECT_EQ(reply.status, Status::kOk);
+  });
+}
+
+TEST(Server, QueueFullSheds) {
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_depth = 1;
+  config.delay_ms = 60.0;  // hold the single worker busy
+  with_server(config, "shed", [](const std::string& path, Server&) {
+    // Distinct instances so neither the cache nor coalescing absorbs
+    // the burst; more clients than worker+queue slots forces shedding.
+    constexpr int kClients = 6;
+    std::atomic<int> shed{0};
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        Client client;
+        std::string error;
+        ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+        Request request;
+        request.instance = small_instance(100 + static_cast<unsigned>(c));
+        Client::Reply reply;
+        ASSERT_TRUE(client.call(request, &reply, &error)) << error;
+        if (reply.status == Status::kShed) {
+          shed.fetch_add(1);
+          EXPECT_NE(reply.payload.find("queue_full"), std::string::npos);
+        } else if (reply.status == Status::kOk) {
+          ok.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_GT(shed.load(), 0) << "burst must overflow a depth-1 queue";
+    EXPECT_GT(ok.load(), 0) << "admitted requests still complete";
+  });
+}
+
+TEST(Server, ExpiredDeadlineSheds) {
+  ServerConfig config;
+  config.workers = 1;
+  config.delay_ms = 80.0;
+  with_server(config, "deadline", [](const std::string& path, Server&) {
+    Client blocker;
+    Client victim;
+    std::string error;
+    ASSERT_TRUE(blocker.connect_unix(path, &error)) << error;
+    ASSERT_TRUE(victim.connect_unix(path, &error)) << error;
+
+    // Occupy the single worker, then queue a request whose deadline
+    // expires long before the worker frees up.
+    Request slow;
+    slow.instance = small_instance(61);
+    Client::Reply slow_reply;
+    std::thread blocker_thread([&] {
+      ASSERT_TRUE(blocker.call(slow, &slow_reply, &error)) << error;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    Request urgent;
+    urgent.instance = small_instance(62);
+    urgent.deadline_ms = 1.0;
+    Client::Reply reply;
+    std::string victim_error;
+    ASSERT_TRUE(victim.call(urgent, &reply, &victim_error))
+        << victim_error;
+    EXPECT_EQ(reply.status, Status::kShed);
+    EXPECT_NE(reply.payload.find("deadline"), std::string::npos);
+    blocker_thread.join();
+    EXPECT_EQ(slow_reply.status, Status::kOk);
+  });
+}
+
+TEST(Server, CoalescesIdenticalInflightRequests) {
+  ServerConfig config;
+  config.workers = 1;
+  config.delay_ms = 60.0;
+  config.queue_depth = 64;
+  with_server(config, "coalesce", [](const std::string& path, Server&) {
+    // Identical requests from several connections while the first is
+    // still in flight: every reply must be ok and byte-identical even
+    // though the queue only ever holds one task per key.
+    constexpr int kClients = 4;
+    Request request;
+    request.instance = small_instance(77);
+    std::vector<std::string> payloads(kClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        Client client;
+        std::string error;
+        ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+        Client::Reply reply;
+        ASSERT_TRUE(client.call(request, &reply, &error)) << error;
+        ASSERT_EQ(reply.status, Status::kOk);
+        payloads[static_cast<std::size_t>(c)] = reply.payload;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int c = 1; c < kClients; ++c) {
+      EXPECT_EQ(payloads[static_cast<std::size_t>(c)], payloads[0]);
+    }
+  });
+}
+
+TEST(Server, ClientShutdownFrameStopsTheServer) {
+  ServerConfig config;
+  config.workers = 1;
+  const std::string path = socket_path("shutdown");
+  config.socket_path = path;
+  Server server(std::move(config));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+  ASSERT_TRUE(client.shutdown_server(&error)) << error;
+  server.wait();  // returns because the frame initiated shutdown
+  EXPECT_GE(server.responses(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qbss::svc

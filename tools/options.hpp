@@ -1,0 +1,68 @@
+// Minimal --key value option parsing shared by the qbss CLI tools.
+#pragma once
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+
+namespace qbss::tools {
+
+/// Parsed command line: `--key value` pairs (a `--flag` before another
+/// option or the end maps to an empty value) plus bare positionals.
+struct Options {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return values.count(key) > 0;
+  }
+};
+
+/// Scans argv[first..): `--name [value]` into values, the rest into
+/// positional.
+inline Options parse_options(int argc, char** argv, int first) {
+  Options opts;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positional.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      opts.values[arg] = argv[++i];
+    } else {
+      opts.values[arg] = "";
+    }
+  }
+  return opts;
+}
+
+/// Applies the global `--threads N` override (wins over `QBSS_THREADS`);
+/// non-numeric or non-positive values are ignored.
+inline void apply_thread_override(const Options& opts) {
+  if (!opts.flag("threads")) return;
+  double n = 0.0;
+  try {
+    n = opts.number("threads", 0.0);
+  } catch (...) {
+    return;
+  }
+  if (n >= 1.0) {
+    common::set_worker_count(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace qbss::tools

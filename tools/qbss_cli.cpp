@@ -9,21 +9,24 @@
 //   qbss opt  [--alpha A] [--input FILE]          clairvoyant optimum
 //   qbss stats [--input FILE]                     instance statistics
 //   qbss bounds [--alpha A]                       print Table 1 bounds
+//   qbss serve --socket PATH [--tcp PORT] ...     resident scheduling
+//                                                 service (docs/SERVICE.md)
 //   qbss obs-diff BASELINE.json CANDIDATE.json... diff two run manifests
 //                                                 and exit nonzero on
 //                                                 regression
 //
 // Global flags: --trace FILE (Chrome trace of instrumented spans),
 // --quiet (suppress the [obs] counter/manifest report on stderr),
-// --manifest FILE (write this run's manifest as JSON).
+// --manifest FILE (write this run's manifest as JSON),
+// --threads N (sweep thread count, overrides QBSS_THREADS).
 //
 // Example:
 //   qbss gen --family compression --n 20 --seed 7 | qbss run --algo bkpq
+#include <atomic>
+#include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,50 +52,20 @@
 #include "qbss/crcd.hpp"
 #include "qbss/crp2d.hpp"
 #include "qbss/oaq.hpp"
+#include "svc/server.hpp"
+
+#include "options.hpp"
 
 namespace {
 
 using namespace qbss;
-
-struct Options {
-  std::map<std::string, std::string> values;
-  std::vector<std::string> positional;
-
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback) const {
-    const auto it = values.find(key);
-    return it == values.end() ? fallback : it->second;
-  }
-  [[nodiscard]] double number(const std::string& key, double fallback) const {
-    const auto it = values.find(key);
-    return it == values.end() ? fallback : std::stod(it->second);
-  }
-  [[nodiscard]] bool flag(const std::string& key) const {
-    return values.count(key) > 0;
-  }
-};
-
-Options parse_options(int argc, char** argv, int first) {
-  Options opts;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      opts.positional.push_back(std::move(arg));
-      continue;
-    }
-    arg.erase(0, 2);
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      opts.values[arg] = argv[++i];
-    } else {
-      opts.values[arg] = "";
-    }
-  }
-  return opts;
-}
+using tools::Options;
+using tools::parse_options;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: qbss <gen|run|opt|stats|bounds|obs-diff> [--options]\n"
+               "usage: qbss <gen|run|opt|stats|bounds|serve|obs-diff> "
+               "[--options]\n"
                "  gen    --family mixed|compression|optimizer|common|pow2 "
                "[--n N] [--seed S]\n"
                "  run    --algo crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m "
@@ -104,6 +77,18 @@ int usage() {
                "  opt    [--alpha A] [--input F]\n"
                "  stats  [--input F]\n"
                "  bounds [--alpha A]\n"
+               "  serve  --socket PATH [--tcp PORT] [--workers N] "
+               "[--queue-depth D]\n"
+               "         [--cache N] [--shards S] [--batch K] "
+               "[--delay-ms X]\n"
+               "         resident scheduling service over a framed "
+               "Unix-domain/TCP\n"
+               "         protocol with result caching, coalescing and "
+               "backpressure\n"
+               "         (see docs/SERVICE.md; drive it with "
+               "qbss-loadgen); writes\n"
+               "         BENCH_svc.json at shutdown (--manifest "
+               "overrides the path)\n"
                "  obs-diff BASELINE.json CANDIDATE.json [CANDIDATE2.json "
                "...]\n"
                "         compare run manifests (see docs/OBSERVABILITY.md); "
@@ -125,7 +110,10 @@ int usage() {
                " Perfetto) of instrumented spans\n"
                "  --quiet          suppress the [obs] counter/manifest report"
                " on stderr\n"
-               "  --manifest FILE  write this run's manifest as JSON\n");
+               "  --manifest FILE  write this run's manifest as JSON\n"
+               "  --threads N      worker threads for parallel sweeps "
+               "(overrides the\n"
+               "                   QBSS_THREADS environment variable)\n");
   return 2;
 }
 
@@ -290,6 +278,52 @@ int cmd_bounds(const Options& opts) {
   return 0;
 }
 
+/// SIGINT/SIGTERM set this; the server's accept loop polls it.
+std::atomic<bool> g_stop_requested{false};
+
+void handle_stop_signal(int) { g_stop_requested.store(true); }
+
+int cmd_serve(const Options& opts) {
+  svc::ServerConfig cfg;
+  cfg.socket_path = opts.get("socket", "");
+  cfg.tcp_port = static_cast<int>(opts.number("tcp", 0));
+  cfg.workers = static_cast<std::size_t>(opts.number("workers", 2));
+  cfg.queue_depth = static_cast<std::size_t>(opts.number("queue-depth", 64));
+  cfg.cache_entries = static_cast<std::size_t>(opts.number("cache", 1024));
+  cfg.cache_shards = static_cast<std::size_t>(opts.number("shards", 8));
+  cfg.batch = static_cast<std::size_t>(opts.number("batch", 4));
+  cfg.delay_ms = opts.number("delay-ms", 0.0);
+  cfg.manifest_path = opts.get("manifest", "BENCH_svc.json");
+  cfg.external_stop = &g_stop_requested;
+  if (cfg.socket_path.empty() && cfg.tcp_port == 0) {
+    std::fprintf(stderr, "serve needs --socket PATH and/or --tcp PORT\n");
+    return 2;
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  svc::Server server(cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  if (!cfg.socket_path.empty()) {
+    std::fprintf(stderr, "[svc] listening on %s\n", cfg.socket_path.c_str());
+  }
+  if (cfg.tcp_port != 0) {
+    std::fprintf(stderr, "[svc] listening on 127.0.0.1:%d\n", cfg.tcp_port);
+  }
+  std::fprintf(stderr,
+               "[svc] workers=%zu queue_depth=%zu cache=%zu ready\n",
+               cfg.workers, cfg.queue_depth, cfg.cache_entries);
+  server.wait();
+  std::fprintf(stderr, "[svc] shut down after %llu responses\n",
+               static_cast<unsigned long long>(server.responses()));
+  return 0;
+}
+
 int cmd_obs_diff(const Options& opts) {
   if (opts.positional.size() < 2) {
     std::fprintf(stderr,
@@ -335,7 +369,9 @@ int cmd_obs_diff(const Options& opts) {
 
 /// The [obs] report: a one-line manifest summary plus the final counter
 /// and histogram snapshots, on stderr so piped stdout output stays clean.
-/// With --manifest FILE the same manifest is also written as JSON.
+/// With --manifest FILE the same manifest is also written as JSON —
+/// except for `serve`, whose Server already wrote a richer one (config +
+/// response counts) to the same path at shutdown.
 void report(const std::string& command, const Options& opts) {
   obs::Manifest manifest = obs::current_manifest();
   manifest.threads = common::worker_count();
@@ -359,6 +395,7 @@ void report(const std::string& command, const Options& opts) {
                    h.min, h.max, h.p50, h.p90, h.p99);
     }
   }
+  if (command == "serve") return;
   if (const std::string path = opts.get("manifest", ""); !path.empty()) {
     if (std::ofstream out(path); out) {
       io::write_json_manifest(out, manifest);
@@ -375,6 +412,7 @@ int dispatch(const std::string& command, const Options& opts) {
   if (command == "opt") return cmd_opt(opts);
   if (command == "stats") return cmd_stats(opts);
   if (command == "bounds") return cmd_bounds(opts);
+  if (command == "serve") return cmd_serve(opts);
   if (command == "obs-diff") return cmd_obs_diff(opts);
   return usage();
 }
@@ -388,6 +426,7 @@ int main(int argc, char** argv) {
   if (const std::string trace = opts.get("trace", ""); !trace.empty()) {
     obs::set_trace_path(trace);
   }
+  tools::apply_thread_override(opts);
   const int rc = dispatch(command, opts);
   report(command, opts);
   obs::flush_trace();

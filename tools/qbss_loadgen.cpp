@@ -1,0 +1,388 @@
+// qbss-loadgen — open/closed-loop load generator for `qbss serve`.
+//
+//   qbss-loadgen --socket PATH [--connections C] [--requests N]
+//                [--qps Q --duration S] [--family F] [--n J] [--seeds K]
+//                [--algo A] [--alpha X] [--deadline-ms D] [--validate]
+//                [--expect-no-shed] [--expect-shed] [--shutdown]
+//
+// Closed loop (default): C connections each issue N back-to-back
+// requests drawn round-robin from a pool of K generated instances —
+// K smaller than the request count makes repeats, which the server
+// answers from its result cache. Paced (open) loop: --qps Q spreads
+// sends across connections at an aggregate target rate for --duration
+// seconds. Every ok response is compared byte-for-byte against the
+// first response seen for the same canonical key (cached and uncached
+// results must be identical); --validate additionally requests the
+// schedule dump and re-validates it through io::read_schedule and the
+// scheduling validator. Reports throughput and p50/p90/p99 latency from
+// an obs::Histogram; exit status reflects failures and the --expect-*
+// assertions (the CI soak job relies on both).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/real.hpp"
+#include "gen/compression.hpp"
+#include "gen/optimizer.hpp"
+#include "gen/random_instances.hpp"
+#include "io/format.hpp"
+#include "io/json.hpp"
+#include "obs/histogram.hpp"
+#include "obs/manifest.hpp"
+#include "obs/registry.hpp"
+#include "scheduling/schedule.hpp"
+#include "svc/client.hpp"
+
+#include "options.hpp"
+
+namespace {
+
+using namespace qbss;
+using tools::Options;
+using Clock = std::chrono::steady_clock;
+
+struct Target {
+  std::string socket_path;
+  int tcp_port = 0;
+};
+
+bool connect_with_retry(svc::Client& client, const Target& target,
+                        std::string* error) {
+  // The server may still be binding when we start (CI launches it in the
+  // background); retry for a few seconds before giving up.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const bool ok = target.socket_path.empty()
+                        ? client.connect_tcp(target.tcp_port, error)
+                        : client.connect_unix(target.socket_path, error);
+    if (ok) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+core::QInstance make_instance(const std::string& family, int n,
+                              std::uint64_t seed) {
+  if (family == "common") return gen::random_common_deadline(n, 8.0, seed);
+  if (family == "pow2") return gen::random_pow2_deadlines(n, 4, seed);
+  if (family == "compression") {
+    gen::CompressionConfig cfg;
+    cfg.files = n;
+    return gen::compression_stream(cfg, 12.0, 3.0, seed);
+  }
+  if (family == "optimizer") {
+    gen::OptimizerConfig cfg;
+    cfg.jobs = n;
+    return gen::optimizer_instance(cfg, seed);
+  }
+  return gen::random_online(n, 10.0, 0.5, 4.0, seed);
+}
+
+/// Shared run state: the request pool, the expected-payload table and
+/// the failure tallies every connection thread feeds.
+struct RunState {
+  std::vector<svc::Request> pool;
+  std::vector<std::string> keys;  ///< cache key per pool entry
+  double alpha = 3.0;
+  bool validate = false;
+
+  std::atomic<std::size_t> next_index{0};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> transport_failures{0};
+  std::atomic<std::uint64_t> compared{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> validated{0};
+  std::atomic<std::uint64_t> invalid{0};
+
+  std::mutex expected_mu;
+  std::map<std::string, std::string> expected;  ///< key -> first payload
+};
+
+/// Checks one ok-payload: byte-identity against the first payload seen
+/// for this key, and (with --validate) schedule re-validation.
+void check_response(RunState& state, std::size_t pool_index,
+                    const svc::Client::Reply& reply) {
+  const std::string& key = state.keys[pool_index];
+  {
+    const std::lock_guard<std::mutex> lock(state.expected_mu);
+    const auto [it, inserted] = state.expected.emplace(key, reply.payload);
+    if (!inserted) {
+      state.compared.fetch_add(1);
+      if (it->second != reply.payload) {
+        state.mismatches.fetch_add(1);
+        QBSS_COUNT("loadgen.mismatches");
+      }
+    }
+  }
+  if (!state.validate) return;
+
+  svc::SolveResult result;
+  std::string error;
+  bool good = svc::parse_solve_result(reply.payload, &result, &error) &&
+              result.valid && !result.classical_text.empty() &&
+              !result.schedule_text.empty();
+  if (good) {
+    std::istringstream classical_in(result.classical_text);
+    std::istringstream schedule_in(result.schedule_text);
+    const io::Parsed<scheduling::Instance> classical =
+        io::read_instance(classical_in);
+    good = static_cast<bool>(classical);
+    if (good) {
+      const io::Parsed<scheduling::Schedule> schedule =
+          io::read_schedule(schedule_in, classical.value->size());
+      good = static_cast<bool>(schedule) &&
+             scheduling::validate(*classical.value, *schedule.value)
+                 .feasible &&
+             approx_eq(schedule.value->energy(state.alpha), result.energy,
+                       1e-6);
+    }
+  }
+  state.validated.fetch_add(1);
+  if (!good) {
+    state.invalid.fetch_add(1);
+    QBSS_COUNT("loadgen.invalid");
+  }
+}
+
+void issue_one(RunState& state, svc::Client& client) {
+  const std::size_t index =
+      state.next_index.fetch_add(1) % state.pool.size();
+  const Clock::time_point start = Clock::now();
+  svc::Client::Reply reply;
+  std::string error;
+  state.sent.fetch_add(1);
+  QBSS_COUNT("loadgen.sent");
+  if (!client.call(state.pool[index], &reply, &error)) {
+    state.transport_failures.fetch_add(1);
+    QBSS_COUNT("loadgen.transport_failures");
+    return;
+  }
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - start)
+          .count();
+  QBSS_HIST("loadgen.latency_us", latency_us);
+  switch (reply.status) {
+    case svc::Status::kOk:
+      state.ok.fetch_add(1);
+      QBSS_COUNT("loadgen.ok");
+      if (reply.cache_hit) {
+        state.cache_hits.fetch_add(1);
+        QBSS_COUNT("loadgen.cache_hits");
+      }
+      check_response(state, index, reply);
+      break;
+    case svc::Status::kShed:
+      state.shed.fetch_add(1);
+      QBSS_COUNT("loadgen.shed");
+      break;
+    case svc::Status::kError:
+      state.errors.fetch_add(1);
+      QBSS_COUNT("loadgen.errors");
+      break;
+  }
+}
+
+/// Closed loop: `requests` back-to-back calls.
+void closed_loop(RunState& state, svc::Client& client, std::size_t requests) {
+  for (std::size_t i = 0; i < requests; ++i) issue_one(state, client);
+}
+
+/// Paced loop: one call every `interval` (catching up if a response
+/// arrived late), until `stop_at`.
+void paced_loop(RunState& state, svc::Client& client,
+                std::chrono::duration<double> interval,
+                Clock::time_point stop_at) {
+  Clock::time_point next = Clock::now();
+  while (Clock::now() < stop_at) {
+    std::this_thread::sleep_until(next);
+    if (Clock::now() >= stop_at) break;
+    issue_one(state, client);
+    next += std::chrono::duration_cast<Clock::duration>(interval);
+    if (const Clock::time_point now = Clock::now(); next < now) next = now;
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: qbss-loadgen (--socket PATH | --tcp PORT) [--options]\n"
+      "  --connections C   concurrent connections (default 4)\n"
+      "  --requests N      closed loop: requests per connection "
+      "(default 50)\n"
+      "  --qps Q           paced loop: aggregate requests/second "
+      "(default off)\n"
+      "  --duration S      paced loop length in seconds (default 5)\n"
+      "  --family F        mixed|common|pow2|compression|optimizer "
+      "(default mixed)\n"
+      "  --n J             jobs per generated instance (default 12)\n"
+      "  --seeds K         distinct instances in the pool (default 8; "
+      "repeats\n"
+      "                    drive the server's result cache)\n"
+      "  --algo A          crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m|opt "
+      "(default bkpq)\n"
+      "  --alpha X         power exponent (default 3)\n"
+      "  --machines M      machines for avrq_m (default 4)\n"
+      "  --deadline-ms D   per-request queue deadline\n"
+      "  --validate        request schedule dumps and re-validate them\n"
+      "  --expect-no-shed  exit 1 if any request was shed\n"
+      "  --expect-shed     exit 1 if no request was shed\n"
+      "  --expect-cache-hits  exit 1 if no response came from the cache\n"
+      "  --shutdown        send a shutdown frame when done\n"
+      "  --manifest FILE   write the loadgen manifest as JSON\n"
+      "  --quiet           suppress the summary report\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = tools::parse_options(argc, argv, 1);
+  tools::apply_thread_override(opts);
+
+  Target target;
+  target.socket_path = opts.get("socket", "");
+  target.tcp_port = static_cast<int>(opts.number("tcp", 0));
+  if (target.socket_path.empty() && target.tcp_port == 0) return usage();
+
+  const std::size_t connections =
+      static_cast<std::size_t>(opts.number("connections", 4));
+  const std::size_t requests =
+      static_cast<std::size_t>(opts.number("requests", 50));
+  const double qps = opts.number("qps", 0.0);
+  const double duration = opts.number("duration", 5.0);
+  const std::string family = opts.get("family", "mixed");
+  const int jobs = static_cast<int>(opts.number("n", 12));
+  const std::size_t seeds =
+      static_cast<std::size_t>(opts.number("seeds", 8));
+
+  RunState state;
+  state.alpha = opts.number("alpha", 3.0);
+  state.validate = opts.flag("validate");
+  for (std::size_t s = 0; s < std::max<std::size_t>(seeds, 1); ++s) {
+    svc::Request request;
+    request.algo = opts.get("algo", "bkpq");
+    request.alpha = state.alpha;
+    request.machines = static_cast<int>(opts.number("machines", 4));
+    request.want_schedule = state.validate;
+    request.deadline_ms = opts.number("deadline-ms", 0.0);
+    request.instance = make_instance(family, jobs, s + 1);
+    state.keys.push_back(svc::cache_key(request));
+    state.pool.push_back(std::move(request));
+  }
+
+  std::vector<svc::Client> clients(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    std::string error;
+    if (!connect_with_retry(clients[c], target, &error)) {
+      std::fprintf(stderr, "qbss-loadgen: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    if (qps > 0.0) {
+      const std::chrono::duration<double> interval(
+          static_cast<double>(connections) / qps);
+      const Clock::time_point stop_at =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(duration));
+      threads.emplace_back([&state, &clients, c, interval, stop_at] {
+        paced_loop(state, clients[c], interval, stop_at);
+      });
+    } else {
+      threads.emplace_back([&state, &clients, c, requests] {
+        closed_loop(state, clients[c], requests);
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (opts.flag("shutdown")) {
+    std::string error;
+    if (!clients[0].shutdown_server(&error)) {
+      std::fprintf(stderr, "qbss-loadgen: shutdown: %s\n", error.c_str());
+    }
+  }
+
+  const obs::HistogramSummary latency =
+      obs::registry().histogram("loadgen.latency_us").summary();
+  const std::uint64_t sent = state.sent.load();
+  if (!opts.flag("quiet")) {
+    std::printf("loadgen: %llu requests in %.3fs (%.1f req/s), "
+                "%zu connections, pool of %zu instances\n",
+                static_cast<unsigned long long>(sent), seconds,
+                seconds > 0.0 ? static_cast<double>(sent) / seconds : 0.0,
+                connections, state.pool.size());
+    std::printf("  ok %llu (cache hits %llu), shed %llu, errors %llu, "
+                "transport failures %llu\n",
+                static_cast<unsigned long long>(state.ok.load()),
+                static_cast<unsigned long long>(state.cache_hits.load()),
+                static_cast<unsigned long long>(state.shed.load()),
+                static_cast<unsigned long long>(state.errors.load()),
+                static_cast<unsigned long long>(
+                    state.transport_failures.load()));
+    std::printf("  byte-identity: %llu comparisons, %llu mismatches\n",
+                static_cast<unsigned long long>(state.compared.load()),
+                static_cast<unsigned long long>(state.mismatches.load()));
+    if (state.validate) {
+      std::printf("  validated %llu schedules, %llu invalid\n",
+                  static_cast<unsigned long long>(state.validated.load()),
+                  static_cast<unsigned long long>(state.invalid.load()));
+    }
+    std::printf("  latency_us: n=%llu min=%.1f p50=%.1f p90=%.1f p99=%.1f "
+                "max=%.1f\n",
+                static_cast<unsigned long long>(latency.count), latency.min,
+                latency.p50, latency.p90, latency.p99, latency.max);
+  }
+
+  if (const std::string path = opts.get("manifest", ""); !path.empty()) {
+    obs::Manifest manifest = obs::current_manifest();
+    manifest.threads = connections;
+    manifest.extra.emplace_back("command", "loadgen");
+    manifest.extra.emplace_back("mode", qps > 0.0 ? "paced" : "closed");
+    manifest.extra.emplace_back("connections", std::to_string(connections));
+    manifest.extra.emplace_back("family", family);
+    manifest.extra.emplace_back("algo", opts.get("algo", "bkpq"));
+    if (std::ofstream out(path); out) {
+      io::write_json_manifest(out, manifest);
+    }
+  }
+
+  bool failed = state.errors.load() > 0 ||
+                state.transport_failures.load() > 0 ||
+                state.mismatches.load() > 0 || state.invalid.load() > 0;
+  if (opts.flag("expect-no-shed") && state.shed.load() > 0) {
+    std::fprintf(stderr, "qbss-loadgen: expected no shed responses, got "
+                         "%llu\n",
+                 static_cast<unsigned long long>(state.shed.load()));
+    failed = true;
+  }
+  if (opts.flag("expect-shed") && state.shed.load() == 0) {
+    std::fprintf(stderr,
+                 "qbss-loadgen: expected shed responses, got none\n");
+    failed = true;
+  }
+  if (opts.flag("expect-cache-hits") && state.cache_hits.load() == 0) {
+    std::fprintf(stderr,
+                 "qbss-loadgen: expected cache hits, got none\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
