@@ -40,6 +40,7 @@ bool Client::connect_unix(const std::string& path, std::string* error) {
     close();
     return false;
   }
+  set_socket_timeouts(fd_, timeout_ms_, timeout_ms_);
   return true;
 }
 
@@ -63,7 +64,22 @@ bool Client::connect_tcp(int port, std::string* error) {
     close();
     return false;
   }
+  set_socket_timeouts(fd_, timeout_ms_, timeout_ms_);
   return true;
+}
+
+bool Client::connect(const Endpoint& endpoint, std::string* error) {
+  if (!endpoint.socket_path.empty()) {
+    return connect_unix(endpoint.socket_path, error);
+  }
+  if (endpoint.tcp_port != 0) return connect_tcp(endpoint.tcp_port, error);
+  if (error) *error = "empty endpoint";
+  return false;
+}
+
+void Client::set_timeout_ms(double ms) {
+  timeout_ms_ = ms;
+  if (fd_ >= 0) set_socket_timeouts(fd_, timeout_ms_, timeout_ms_);
 }
 
 bool Client::call(const Request& request, Reply* reply, std::string* error) {
@@ -83,6 +99,16 @@ bool Client::call(const Request& request, Reply* reply, std::string* error) {
   const ReadResult rc = read_frame(fd_, &response, &payload, error);
   if (rc == ReadResult::kEof) {
     if (error) *error = "server closed the connection";
+    return false;
+  }
+  if (rc == ReadResult::kTimeout) {
+    if (error) *error = "response timed out";
+    return false;
+  }
+  if (rc == ReadResult::kBadFrame) {
+    // A corrupted response header: the stream is unusable, but the
+    // caller can reconnect and retry (solves are idempotent by key).
+    if (error) *error = "malformed response frame: " + *error;
     return false;
   }
   if (rc == ReadResult::kError) return false;

@@ -10,6 +10,13 @@
 
 namespace qbss::svc {
 
+/// Where a server lives: a Unix-domain socket path, or (when the path
+/// is empty) 127.0.0.1:`tcp_port`.
+struct Endpoint {
+  std::string socket_path;
+  int tcp_port = 0;
+};
+
 /// One framed connection. Not thread-safe; use one Client per thread.
 class Client {
  public:
@@ -24,6 +31,14 @@ class Client {
 
   /// Connects to 127.0.0.1:`port`.
   [[nodiscard]] bool connect_tcp(int port, std::string* error);
+
+  /// Connects to whichever transport `endpoint` names.
+  [[nodiscard]] bool connect(const Endpoint& endpoint, std::string* error);
+
+  /// Per-attempt socket timeout: a call that cannot send or receive
+  /// within `ms` fails instead of blocking forever. Applies to the
+  /// current connection and every later one; 0 restores blocking io.
+  void set_timeout_ms(double ms);
 
   /// A response as it came off the wire.
   struct Reply {
@@ -49,6 +64,7 @@ class Client {
  private:
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  double timeout_ms_ = 0.0;
 };
 
 }  // namespace qbss::svc

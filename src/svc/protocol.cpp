@@ -1,6 +1,7 @@
 #include "svc/protocol.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <bit>
@@ -52,13 +53,20 @@ std::uint64_t get_u64(const unsigned char* in) {
 }
 
 /// Sends all of [data, data+len); MSG_NOSIGNAL so a vanished peer yields
-/// EPIPE instead of killing the process.
-bool send_all(int fd, const void* data, std::size_t len, std::string* error) {
+/// EPIPE instead of killing the process. An SO_SNDTIMEO expiry sets
+/// *timed_out so callers can count it apart from a dead peer.
+bool send_all(int fd, const void* data, std::size_t len, std::string* error,
+              bool* timed_out) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
     const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (timed_out) *timed_out = true;
+        if (error) *error = "send timed out";
+        return false;
+      }
       if (error) *error = std::string("send: ") + std::strerror(errno);
       return false;
     }
@@ -69,7 +77,7 @@ bool send_all(int fd, const void* data, std::size_t len, std::string* error) {
 }
 
 /// Reads exactly `len` bytes. 1 = done, 0 = clean EOF before any byte,
-/// -1 = error (torn read or recv failure).
+/// -1 = error (torn read or recv failure), -2 = SO_RCVTIMEO expired.
 int recv_all(int fd, void* data, std::size_t len, std::string* error) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
@@ -77,6 +85,10 @@ int recv_all(int fd, void* data, std::size_t len, std::string* error) {
     const ssize_t n = ::recv(fd, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (error) *error = "recv timed out";
+        return -2;
+      }
       if (error) *error = std::string("recv: ") + std::strerror(errno);
       return -1;
     }
@@ -136,8 +148,15 @@ void encode_header(const FrameHeader& header,
 
 bool decode_header(const unsigned char in[kHeaderSize], FrameHeader* header,
                    std::string* error) {
-  if (get_u32(in) != kMagic) {
-    if (error) *error = "bad frame magic";
+  if (const std::uint32_t magic = get_u32(in); magic != kMagic) {
+    // "QSS1" little-endian keeps the version in the high byte: a right
+    // prefix with a wrong version byte is a peer speaking a different
+    // protocol revision, which deserves a distinct diagnosis.
+    if (error) {
+      *error = (magic & 0x00ffffffu) == (kMagic & 0x00ffffffu)
+                   ? "frame version mismatch"
+                   : "bad frame magic";
+    }
     return false;
   }
   const std::uint32_t status = get_u32(in + 4);
@@ -157,7 +176,7 @@ bool decode_header(const unsigned char in[kHeaderSize], FrameHeader* header,
 }
 
 bool write_frame(int fd, const FrameHeader& header, std::string_view payload,
-                 std::string* error) {
+                 std::string* error, bool* timed_out) {
   if (payload.size() > kMaxPayload) {
     if (error) *error = "payload exceeds frame limit";
     return false;
@@ -168,7 +187,22 @@ bool write_frame(int fd, const FrameHeader& header, std::string_view payload,
   std::vector<unsigned char> buf(kHeaderSize + payload.size());
   encode_header(h, buf.data());
   std::memcpy(buf.data() + kHeaderSize, payload.data(), payload.size());
-  return send_all(fd, buf.data(), buf.size(), error);
+  return send_all(fd, buf.data(), buf.size(), error, timed_out);
+}
+
+bool write_corrupt_frame(int fd, const FrameHeader& header,
+                         std::string_view payload, std::string* error) {
+  if (payload.size() > kMaxPayload) {
+    if (error) *error = "payload exceeds frame limit";
+    return false;
+  }
+  FrameHeader h = header;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  std::vector<unsigned char> buf(kHeaderSize + payload.size());
+  encode_header(h, buf.data());
+  buf[0] ^= 0xff;  // byte-garbling peer: the magic no longer matches
+  std::memcpy(buf.data() + kHeaderSize, payload.data(), payload.size());
+  return send_all(fd, buf.data(), buf.size(), error, nullptr);
 }
 
 ReadResult read_frame(int fd, FrameHeader* header, std::string* payload,
@@ -176,14 +210,34 @@ ReadResult read_frame(int fd, FrameHeader* header, std::string* payload,
   unsigned char raw[kHeaderSize];
   const int rc = recv_all(fd, raw, kHeaderSize, error);
   if (rc == 0) return ReadResult::kEof;
+  if (rc == -2) return ReadResult::kTimeout;
   if (rc < 0) return ReadResult::kError;
-  if (!decode_header(raw, header, error)) return ReadResult::kError;
+  if (!decode_header(raw, header, error)) return ReadResult::kBadFrame;
   payload->assign(header->payload_len, '\0');
-  if (header->payload_len > 0 &&
-      recv_all(fd, payload->data(), payload->size(), error) != 1) {
-    return ReadResult::kError;
+  if (header->payload_len > 0) {
+    const int prc = recv_all(fd, payload->data(), payload->size(), error);
+    if (prc == -2) return ReadResult::kTimeout;
+    if (prc != 1) return ReadResult::kError;
   }
   return ReadResult::kFrame;
+}
+
+void set_socket_timeouts(int fd, double recv_ms, double send_ms) {
+  const auto to_timeval = [](double ms) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    return tv;
+  };
+  if (recv_ms > 0.0) {
+    const timeval tv = to_timeval(recv_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  if (send_ms > 0.0) {
+    const timeval tv = to_timeval(send_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
 }
 
 std::string serialize_request(const Request& request) {

@@ -49,23 +49,46 @@ struct FrameHeader {
 void encode_header(const FrameHeader& header,
                    unsigned char out[kHeaderSize]);
 
-/// Parses a wire header; false (with *error set) on bad magic, unknown
-/// status or an over-limit payload length.
+/// Parses a wire header; false (with *error set) on bad magic, a
+/// protocol-version mismatch (right "QSS" prefix, wrong version byte),
+/// unknown status or an over-limit payload length.
 [[nodiscard]] bool decode_header(const unsigned char in[kHeaderSize],
                                  FrameHeader* header, std::string* error);
 
-/// Outcome of read_frame: a frame, clean end-of-stream, or a failure.
-enum class ReadResult { kFrame, kEof, kError };
+/// Outcome of read_frame.
+enum class ReadResult {
+  kFrame,     ///< a complete, well-formed frame
+  kEof,       ///< the stream ended cleanly between frames
+  kError,     ///< recv failure or a torn header/payload
+  kBadFrame,  ///< a full header arrived but failed decode_header
+  kTimeout,   ///< SO_RCVTIMEO expired (slowloris / stalled peer)
+};
 
 /// Writes one frame (header + payload) to `fd`, handling partial writes
-/// and EINTR; never raises SIGPIPE. False + *error on failure.
+/// and EINTR; never raises SIGPIPE. False + *error on failure;
+/// *timed_out (when non-null) distinguishes an SO_SNDTIMEO expiry from
+/// a vanished peer.
 [[nodiscard]] bool write_frame(int fd, const FrameHeader& header,
-                               std::string_view payload, std::string* error);
+                               std::string_view payload, std::string* error,
+                               bool* timed_out = nullptr);
+
+/// Fault-injection / test helper: writes the frame with its magic byte
+/// flipped, so the peer's decode_header must reject it.
+[[nodiscard]] bool write_corrupt_frame(int fd, const FrameHeader& header,
+                                       std::string_view payload,
+                                       std::string* error);
 
 /// Reads one frame from `fd`. kEof only when the stream ends cleanly
-/// between frames; a torn header or payload is kError.
+/// between frames; a torn header or payload is kError; a header that
+/// fails validation is kBadFrame (the caller can still answer with a
+/// typed error frame before closing); an SO_RCVTIMEO expiry is kTimeout.
 [[nodiscard]] ReadResult read_frame(int fd, FrameHeader* header,
                                     std::string* payload, std::string* error);
+
+/// Applies SO_RCVTIMEO / SO_SNDTIMEO to `fd` (either value <= 0 leaves
+/// that direction blocking forever). Server connections use it as the
+/// slowloris defense; clients use it as the per-attempt timeout.
+void set_socket_timeouts(int fd, double recv_ms, double send_ms);
 
 /// What a request asks the server to do.
 enum class Verb { kSolve, kPing, kShutdown };

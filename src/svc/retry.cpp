@@ -1,0 +1,105 @@
+#include "svc/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+
+namespace qbss::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(Endpoint endpoint, RetryPolicy policy)
+    : endpoint_(std::move(endpoint)),
+      policy_(policy),
+      rng_(policy.jitter_seed),
+      prev_backoff_ms_(policy.base_ms) {
+  if (policy_.max_retries < 0) policy_.max_retries = 0;
+  if (policy_.base_ms < 0.0) policy_.base_ms = 0.0;
+  if (policy_.cap_ms < policy_.base_ms) policy_.cap_ms = policy_.base_ms;
+  client_.set_timeout_ms(policy_.attempt_timeout_ms);
+}
+
+double RetryingClient::next_backoff_ms() {
+  const double hi = std::max(policy_.base_ms, prev_backoff_ms_ * 3.0);
+  prev_backoff_ms_ =
+      std::min(policy_.cap_ms, rng_.uniform(policy_.base_ms, hi));
+  return prev_backoff_ms_;
+}
+
+bool RetryingClient::call(const Request& request, Client::Reply* reply,
+                          std::string* error) {
+  const Clock::time_point start = Clock::now();
+  prev_backoff_ms_ = policy_.base_ms;  // each call restarts the ladder
+  std::string attempt_error = "no attempt made";
+  for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      QBSS_COUNT("svc.retry.retries");
+      ++retries_;
+      const double backoff = next_backoff_ms();
+      QBSS_HIST("svc.retry.backoff_ms", backoff);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff));
+    }
+    if (policy_.call_deadline_ms > 0.0 &&
+        elapsed_ms(start) > policy_.call_deadline_ms) {
+      attempt_error = "call deadline exceeded: " + attempt_error;
+      break;
+    }
+    QBSS_COUNT("svc.retry.attempts");
+    if (!client_.connected()) {
+      if (!client_.connect(endpoint_, &attempt_error)) continue;
+      if (was_connected_) {
+        QBSS_COUNT("svc.retry.reconnects");
+        ++reconnects_;
+      }
+      was_connected_ = true;
+    }
+    if (client_.call(request, reply, &attempt_error)) return true;
+    // Transport failure: the stream may hold half a frame, so the only
+    // safe continuation is a fresh connection.
+    client_.close();
+  }
+  QBSS_COUNT("svc.retry.exhausted");
+  ++exhausted_;
+  if (error) *error = "retries exhausted: " + attempt_error;
+  return false;
+}
+
+bool RetryingClient::ping(std::string* error) {
+  Request request;
+  request.verb = Verb::kPing;
+  Client::Reply reply;
+  if (!call(request, &reply, error)) return false;
+  if (reply.status != Status::kOk) {
+    if (error) *error = "ping rejected";
+    return false;
+  }
+  return true;
+}
+
+bool RetryingClient::shutdown_server(std::string* error) {
+  Request request;
+  request.verb = Verb::kShutdown;
+  Client::Reply reply;
+  // A server that already began exiting may tear the connection instead
+  // of acking; both shapes mean the shutdown landed.
+  std::string local;
+  if (call(request, &reply, &local)) return reply.status == Status::kOk;
+  if (error) *error = local;
+  return false;
+}
+
+}  // namespace qbss::svc

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "faults/faults.hpp"
 #include "io/json.hpp"
 #include "obs/histogram.hpp"
 #include "obs/manifest.hpp"
@@ -37,6 +38,20 @@ void close_fd(int& fd) {
     ::close(fd);
     fd = -1;
   }
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t ms_to_ns(double ms) {
+  return static_cast<std::int64_t>(ms * 1e6);
+}
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
 }  // namespace
@@ -124,7 +139,14 @@ bool Server::start(std::string* error) {
 }
 
 void Server::shutdown() {
-  stopping_.store(true, std::memory_order_release);
+  if (!stopping_.exchange(true, std::memory_order_acq_rel) &&
+      config_.drain_ms > 0.0) {
+    // Bound the shutdown drain: backlog still queued past this point is
+    // shed instead of solved, so exit time is O(drain_ms) rather than
+    // O(queue_depth * solve time).
+    drain_deadline_ns_.store(now_ns() + ms_to_ns(config_.drain_ms),
+                             std::memory_order_relaxed);
+  }
   queue_cv_.notify_all();
 }
 
@@ -186,11 +208,31 @@ void Server::accept_loop() {
     for (const pollfd& p : pfds) {
       if ((p.revents & POLLIN) == 0) continue;
       const int fd = ::accept4(p.fd, nullptr, nullptr, SOCK_CLOEXEC);
-      if (fd < 0) continue;
+      if (fd < 0) {
+        const int err = errno;
+        if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+            err == ENOMEM) {
+          // Descriptor/buffer exhaustion: back off instead of spinning
+          // hot, and keep the listener alive — finishing connections
+          // free descriptors.
+          QBSS_COUNT("svc.accept.overload");
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        } else if (err == EINTR || err == ECONNABORTED || err == EAGAIN ||
+                   err == EPROTO) {
+          // The peer vanished between poll-readiness and accept, or the
+          // call was interrupted: routine, take the next one.
+          QBSS_COUNT("svc.accept.retry");
+        } else {
+          QBSS_COUNT("svc.accept.error");
+        }
+        continue;
+      }
       if (stopping_.load(std::memory_order_acquire)) {
         ::close(fd);
         continue;
       }
+      set_socket_timeouts(fd, config_.read_timeout_ms,
+                          config_.write_timeout_ms);
       QBSS_COUNT("svc.connections");
       auto conn = std::make_shared<Connection>(fd);
       const std::lock_guard<std::mutex> lock(conns_mu_);
@@ -207,11 +249,39 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
   for (;;) {
     FrameHeader header;
     const ReadResult rc = read_frame(conn->fd, &header, &payload, &error);
+    if (rc == ReadResult::kTimeout) {
+      // Slowloris / stalled peer: reclaim the connection instead of
+      // holding a reader thread hostage forever.
+      QBSS_COUNT("svc.timeout.read");
+      ::shutdown(conn->fd, SHUT_RDWR);
+      break;
+    }
+    if (rc == ReadResult::kBadFrame) {
+      // The stream cannot resync after a bad header, but the peer gets
+      // a typed error frame saying why before the close — never a
+      // silent drop.
+      QBSS_COUNT("svc.badframe");
+      respond(Waiter{conn, 0, Clock::now(), 0.0}, Status::kError, 0,
+              "message: " + error + "\n");
+      break;
+    }
     if (rc != ReadResult::kFrame) break;
+    const faults::Action fault = QBSS_FAULT(faults::Site::kRead);
+    if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
+    if (fault.drop_connection) {
+      // Injected short read: tear the connection down mid-request; the
+      // client sees EOF with no response and must reconnect and retry.
+      ::shutdown(conn->fd, SHUT_RDWR);
+      break;
+    }
     QBSS_COUNT("svc.requests");
     handle_request(conn, header.request_id, payload);
     if (stopping_.load(std::memory_order_acquire)) break;
   }
+  // Pending waiters still hold Connection references, so responses in
+  // flight stay safe; pruning here just stops conns_ growing forever.
+  const std::lock_guard<std::mutex> lock(conns_mu_);
+  std::erase(conns_, conn);
 }
 
 void Server::handle_request(const std::shared_ptr<Connection>& conn,
@@ -229,6 +299,7 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
   }
 
   if (request.verb == Verb::kPing) {
+    QBSS_COUNT("svc.pings");
     respond(Waiter{conn, request_id, admitted, 0.0}, Status::kOk, 0, "pong\n");
     return;
   }
@@ -241,9 +312,20 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
   const std::string key = cache_key(request);
   const Waiter self{conn, request_id, admitted, request.deadline_ms};
 
+  // Degradation ladder, rung 1: inside the post-overload window the
+  // cache still answers (cheap, no queue), but misses are shed fast
+  // instead of competing for the queue that just overflowed.
+  const bool degraded =
+      now_ns() < degraded_until_ns_.load(std::memory_order_relaxed);
   std::string cached;
   if (cache_.get(key, &cached)) {
+    if (degraded) QBSS_COUNT("svc.degraded.served");
     respond(self, Status::kOk, kFlagCacheHit, cached);
+    return;
+  }
+  if (degraded) {
+    QBSS_COUNT("svc.shed.degraded");
+    respond(self, Status::kShed, 0, "reason: degraded\n");
     return;
   }
 
@@ -277,6 +359,7 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
         QBSS_COUNT("svc.shed.queue");
         respond(w, Status::kShed, 0, "reason: queue_full\n");
       }
+      if (config_.degraded_window_ms > 0.0) enter_degraded();
       return;
     }
     queue_.push_back(Task{key, std::move(request), std::move(inflight)});
@@ -312,7 +395,36 @@ void Server::worker_loop() {
   }
 }
 
+void Server::enter_degraded() {
+  const std::int64_t now = now_ns();
+  const std::int64_t until = now + ms_to_ns(config_.degraded_window_ms);
+  const std::int64_t prev =
+      degraded_until_ns_.exchange(until, std::memory_order_relaxed);
+  if (prev < now) QBSS_COUNT("svc.degraded.entered");
+}
+
 void Server::process_task(Task& task) {
+  // Past the shutdown drain deadline the backlog is answered, not
+  // solved: every waiter gets a typed shed so in-flight loss is zero
+  // and exit time stays bounded.
+  if (stopping_.load(std::memory_order_acquire)) {
+    const std::int64_t drain_by =
+        drain_deadline_ns_.load(std::memory_order_relaxed);
+    if (drain_by != 0 && now_ns() > drain_by) {
+      std::vector<Waiter> abandoned;
+      {
+        const std::lock_guard<std::mutex> lock(inflight_mu_);
+        abandoned = std::move(task.inflight->waiters);
+        inflight_.erase(task.key);
+      }
+      for (const Waiter& w : abandoned) {
+        QBSS_COUNT("svc.shed.shutdown");
+        respond(w, Status::kShed, 0, "reason: shutdown\n");
+      }
+      return;
+    }
+  }
+
   // Shed waiters whose deadline expired while queued; if nobody is left
   // the computation is skipped entirely.
   std::vector<Waiter> expired;
@@ -339,10 +451,10 @@ void Server::process_task(Task& task) {
   }
   if (skip) return;
 
-  if (config_.delay_ms > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(config_.delay_ms));
-  }
+  const faults::Action fault = QBSS_FAULT(faults::Site::kCompute);
+  if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
+
+  if (config_.delay_ms > 0.0) sleep_ms(config_.delay_ms);
 
   std::string payload;
   std::string error;
@@ -376,10 +488,31 @@ void Server::respond(const Waiter& waiter, Status status, std::uint32_t flags,
   header.flags = flags;
   header.request_id = waiter.request_id;
   std::string error;
+  const faults::Action fault = QBSS_FAULT(faults::Site::kWrite);
+  if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
   const std::lock_guard<std::mutex> lock(waiter.conn->write_mu);
+  if (fault.corrupt_header) {
+    // Injected corruption: the frame goes out with a flipped magic
+    // byte, so the client's decode must reject it and retry.
+    static_cast<void>(
+        write_corrupt_frame(waiter.conn->fd, header, payload, &error));
+    return;
+  }
+  if (fault.drop_connection) {
+    // Injected write error: the response vanishes with the connection.
+    ::shutdown(waiter.conn->fd, SHUT_RDWR);
+    return;
+  }
   // A vanished client is not a server failure; the write error is
-  // deliberately dropped (EPIPE after shutdown is the normal case).
-  static_cast<void>(write_frame(waiter.conn->fd, header, payload, &error));
+  // deliberately dropped (EPIPE after shutdown is the normal case) —
+  // but a peer that stopped draining responses is disconnected so it
+  // cannot wedge later responses behind its full socket buffer.
+  bool timed_out = false;
+  if (!write_frame(waiter.conn->fd, header, payload, &error, &timed_out) &&
+      timed_out) {
+    QBSS_COUNT("svc.timeout.write");
+    ::shutdown(waiter.conn->fd, SHUT_RDWR);
+  }
 }
 
 void Server::write_manifest() {

@@ -46,6 +46,20 @@ struct ServerConfig {
   std::size_t cache_shards = 8;
   std::size_t batch = 4;     ///< max tasks drained per worker wakeup
   double delay_ms = 0.0;     ///< artificial per-solve delay (soak knob)
+  /// Per-connection recv timeout (slowloris defense): a peer that stalls
+  /// mid-frame — or sits idle — longer than this is disconnected.
+  /// 0 = never.
+  double read_timeout_ms = 30000.0;
+  /// Per-connection send timeout: a peer that stops draining responses
+  /// is disconnected instead of wedging a worker. 0 = never.
+  double write_timeout_ms = 10000.0;
+  /// Shutdown drain budget: backlog still queued past this deadline is
+  /// answered with `shed` instead of solved, bounding exit time. 0 =
+  /// drain everything no matter how long it takes.
+  double drain_ms = 2000.0;
+  /// Overload degradation window: after a queue-full shed, cache misses
+  /// are fast-shed (cache hits still served) for this long. 0 = off.
+  double degraded_window_ms = 0.0;
   std::string manifest_path; ///< manifest epilogue at shutdown ("" = none)
   /// Extra manifest key/values (the CLI records its flags here).
   std::vector<std::pair<std::string, std::string>> manifest_extra;
@@ -123,6 +137,7 @@ class Server {
   void process_task(Task& task);
   void respond(const Waiter& waiter, Status status, std::uint32_t flags,
                const std::string& payload);
+  void enter_degraded();
   void write_manifest();
 
   ServerConfig config_;
@@ -132,6 +147,11 @@ class Server {
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> responses_{0};
+  /// steady_clock ns until which the degradation window is active (0 =
+  /// never entered; steady_clock never reads negative here).
+  std::atomic<std::int64_t> degraded_until_ns_{0};
+  /// steady_clock ns deadline for the shutdown drain (0 = unbounded).
+  std::atomic<std::int64_t> drain_deadline_ns_{0};
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

@@ -50,6 +50,23 @@ inline Options parse_options(int argc, char** argv, int first) {
   return opts;
 }
 
+/// Client-side robustness knobs shared by the tools that open qbss
+/// serve connections (`--timeout-ms`, `--retries`; `--chaos` flips the
+/// defaults from "fail fast" to values that ride out an aggressive
+/// fault plan).
+struct RetryOptions {
+  double timeout_ms = 0.0;  ///< per-attempt socket timeout (0 = blocking)
+  int retries = 0;          ///< extra attempts after the first
+};
+
+inline RetryOptions parse_retry_options(const Options& opts) {
+  RetryOptions retry;
+  const bool chaos = opts.flag("chaos");
+  retry.timeout_ms = opts.number("timeout-ms", chaos ? 2000.0 : 0.0);
+  retry.retries = static_cast<int>(opts.number("retries", chaos ? 8.0 : 0.0));
+  return retry;
+}
+
 /// Applies the global `--threads N` override (wins over `QBSS_THREADS`);
 /// non-numeric or non-positive values are ignored.
 inline void apply_thread_override(const Options& opts) {

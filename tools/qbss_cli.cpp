@@ -25,6 +25,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -33,6 +34,7 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/stats.hpp"
+#include "faults/faults.hpp"
 #include "gen/compression.hpp"
 #include "gen/optimizer.hpp"
 #include "gen/random_instances.hpp"
@@ -81,6 +83,14 @@ int usage() {
                "[--queue-depth D]\n"
                "         [--cache N] [--shards S] [--batch K] "
                "[--delay-ms X]\n"
+               "         [--read-timeout-ms X] [--write-timeout-ms X] "
+               "[--drain-ms X]\n"
+               "         [--degraded-ms X] [--faults PLAN]\n"
+               "           --faults    seeded fault plan (or QBSS_FAULTS "
+               "env), e.g.\n"
+               "                       "
+               "'read_short:p=0.05,delay:ms=50,seed=7' — see\n"
+               "                       docs/SERVICE.md for the grammar\n"
                "         resident scheduling service over a framed "
                "Unix-domain/TCP\n"
                "         protocol with result caching, coalescing and "
@@ -293,11 +303,42 @@ int cmd_serve(const Options& opts) {
   cfg.cache_shards = static_cast<std::size_t>(opts.number("shards", 8));
   cfg.batch = static_cast<std::size_t>(opts.number("batch", 4));
   cfg.delay_ms = opts.number("delay-ms", 0.0);
+  cfg.read_timeout_ms = opts.number("read-timeout-ms", 30000.0);
+  cfg.write_timeout_ms = opts.number("write-timeout-ms", 10000.0);
+  cfg.drain_ms = opts.number("drain-ms", 2000.0);
+  cfg.degraded_window_ms = opts.number("degraded-ms", 0.0);
   cfg.manifest_path = opts.get("manifest", "BENCH_svc.json");
   cfg.external_stop = &g_stop_requested;
   if (cfg.socket_path.empty() && cfg.tcp_port == 0) {
     std::fprintf(stderr, "serve needs --socket PATH and/or --tcp PORT\n");
     return 2;
+  }
+
+  // Fault plan: --faults wins over the QBSS_FAULTS environment variable.
+  std::string fault_plan = opts.get("faults", "");
+  if (fault_plan.empty()) {
+    if (const char* env = std::getenv("QBSS_FAULTS")) fault_plan = env;
+  }
+  if (!fault_plan.empty()) {
+#ifdef QBSS_FAULTS_OFF
+    std::fprintf(stderr,
+                 "serve: fault plan \"%s\" requested but this binary was "
+                 "built with -DQBSS_FAULTS=OFF\n",
+                 fault_plan.c_str());
+    return 2;
+#else
+    faults::FaultPlan plan;
+    std::string plan_error;
+    if (!faults::parse_plan(fault_plan, &plan, &plan_error)) {
+      std::fprintf(stderr, "serve: bad fault plan: %s\n",
+                   plan_error.c_str());
+      return 2;
+    }
+    faults::injector().configure(plan);
+    cfg.manifest_extra.emplace_back("fault_plan", fault_plan);
+    std::fprintf(stderr, "[svc] fault injection active: %s\n",
+                 fault_plan.c_str());
+#endif
   }
 
   std::signal(SIGINT, handle_stop_signal);

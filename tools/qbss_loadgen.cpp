@@ -3,7 +3,9 @@
 //   qbss-loadgen --socket PATH [--connections C] [--requests N]
 //                [--qps Q --duration S] [--family F] [--n J] [--seeds K]
 //                [--algo A] [--alpha X] [--deadline-ms D] [--validate]
-//                [--expect-no-shed] [--expect-shed] [--shutdown]
+//                [--timeout-ms T] [--retries R] [--chaos]
+//                [--expect-no-shed] [--expect-shed] [--expect-retries]
+//                [--shutdown]
 //
 // Closed loop (default): C connections each issue N back-to-back
 // requests drawn round-robin from a pool of K generated instances —
@@ -17,6 +19,13 @@
 // scheduling validator. Reports throughput and p50/p90/p99 latency from
 // an obs::Histogram; exit status reflects failures and the --expect-*
 // assertions (the CI soak job relies on both).
+//
+// Every connection drives a svc::RetryingClient, so --timeout-ms and
+// --retries turn transport failures (a server running under a
+// QBSS_FAULTS plan drops connections, corrupts headers and stalls) into
+// retries instead of errors; --chaos flips the retry defaults to values
+// that ride out an aggressive fault plan, and --expect-retries gates a
+// chaos run on the faults actually having fired.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -24,6 +33,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -41,6 +51,7 @@
 #include "obs/registry.hpp"
 #include "scheduling/schedule.hpp"
 #include "svc/client.hpp"
+#include "svc/retry.hpp"
 
 #include "options.hpp"
 
@@ -50,20 +61,12 @@ using namespace qbss;
 using tools::Options;
 using Clock = std::chrono::steady_clock;
 
-struct Target {
-  std::string socket_path;
-  int tcp_port = 0;
-};
-
-bool connect_with_retry(svc::Client& client, const Target& target,
-                        std::string* error) {
+bool wait_for_server(const svc::Endpoint& endpoint, std::string* error) {
   // The server may still be binding when we start (CI launches it in the
   // background); retry for a few seconds before giving up.
   for (int attempt = 0; attempt < 50; ++attempt) {
-    const bool ok = target.socket_path.empty()
-                        ? client.connect_tcp(target.tcp_port, error)
-                        : client.connect_unix(target.socket_path, error);
-    if (ok) return true;
+    svc::Client probe;
+    if (probe.connect(endpoint, error)) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   return false;
@@ -156,7 +159,7 @@ void check_response(RunState& state, std::size_t pool_index,
   }
 }
 
-void issue_one(RunState& state, svc::Client& client) {
+void issue_one(RunState& state, svc::RetryingClient& client) {
   const std::size_t index =
       state.next_index.fetch_add(1) % state.pool.size();
   const Clock::time_point start = Clock::now();
@@ -195,13 +198,14 @@ void issue_one(RunState& state, svc::Client& client) {
 }
 
 /// Closed loop: `requests` back-to-back calls.
-void closed_loop(RunState& state, svc::Client& client, std::size_t requests) {
+void closed_loop(RunState& state, svc::RetryingClient& client,
+                 std::size_t requests) {
   for (std::size_t i = 0; i < requests; ++i) issue_one(state, client);
 }
 
 /// Paced loop: one call every `interval` (catching up if a response
 /// arrived late), until `stop_at`.
-void paced_loop(RunState& state, svc::Client& client,
+void paced_loop(RunState& state, svc::RetryingClient& client,
                 std::chrono::duration<double> interval,
                 Clock::time_point stop_at) {
   Clock::time_point next = Clock::now();
@@ -236,9 +240,15 @@ int usage() {
       "  --machines M      machines for avrq_m (default 4)\n"
       "  --deadline-ms D   per-request queue deadline\n"
       "  --validate        request schedule dumps and re-validate them\n"
+      "  --timeout-ms T    per-attempt socket timeout (default 0 = none;\n"
+      "                    2000 under --chaos)\n"
+      "  --retries R       retries per request after the first attempt\n"
+      "                    (default 0; 8 under --chaos)\n"
+      "  --chaos           retry defaults for a server under QBSS_FAULTS\n"
       "  --expect-no-shed  exit 1 if any request was shed\n"
       "  --expect-shed     exit 1 if no request was shed\n"
       "  --expect-cache-hits  exit 1 if no response came from the cache\n"
+      "  --expect-retries  exit 1 if no request needed a retry\n"
       "  --shutdown        send a shutdown frame when done\n"
       "  --manifest FILE   write the loadgen manifest as JSON\n"
       "  --quiet           suppress the summary report\n");
@@ -251,10 +261,11 @@ int main(int argc, char** argv) {
   const Options opts = tools::parse_options(argc, argv, 1);
   tools::apply_thread_override(opts);
 
-  Target target;
-  target.socket_path = opts.get("socket", "");
-  target.tcp_port = static_cast<int>(opts.number("tcp", 0));
-  if (target.socket_path.empty() && target.tcp_port == 0) return usage();
+  svc::Endpoint endpoint;
+  endpoint.socket_path = opts.get("socket", "");
+  endpoint.tcp_port = static_cast<int>(opts.number("tcp", 0));
+  if (endpoint.socket_path.empty() && endpoint.tcp_port == 0) return usage();
+  const tools::RetryOptions retry = tools::parse_retry_options(opts);
 
   const std::size_t connections =
       static_cast<std::size_t>(opts.number("connections", 4));
@@ -282,13 +293,22 @@ int main(int argc, char** argv) {
     state.pool.push_back(std::move(request));
   }
 
-  std::vector<svc::Client> clients(connections);
-  for (std::size_t c = 0; c < connections; ++c) {
+  {
     std::string error;
-    if (!connect_with_retry(clients[c], target, &error)) {
+    if (!wait_for_server(endpoint, &error)) {
       std::fprintf(stderr, "qbss-loadgen: %s\n", error.c_str());
       return 1;
     }
+  }
+  std::vector<std::unique_ptr<svc::RetryingClient>> clients;
+  clients.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    svc::RetryPolicy policy;
+    policy.max_retries = retry.retries;
+    policy.attempt_timeout_ms = retry.timeout_ms;
+    policy.jitter_seed = 0x10adULL + c;  // decorrelate across connections
+    clients.push_back(
+        std::make_unique<svc::RetryingClient>(endpoint, policy));
   }
 
   const Clock::time_point start = Clock::now();
@@ -302,11 +322,11 @@ int main(int argc, char** argv) {
           start + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(duration));
       threads.emplace_back([&state, &clients, c, interval, stop_at] {
-        paced_loop(state, clients[c], interval, stop_at);
+        paced_loop(state, *clients[c], interval, stop_at);
       });
     } else {
       threads.emplace_back([&state, &clients, c, requests] {
-        closed_loop(state, clients[c], requests);
+        closed_loop(state, *clients[c], requests);
       });
     }
   }
@@ -315,10 +335,21 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - start).count();
 
   if (opts.flag("shutdown")) {
+    // The shutdown frame rides the retry loop too: a fault plan that
+    // eats it must not leave the server running (CI would hang on it).
     std::string error;
-    if (!clients[0].shutdown_server(&error)) {
+    if (!clients[0]->shutdown_server(&error)) {
       std::fprintf(stderr, "qbss-loadgen: shutdown: %s\n", error.c_str());
     }
+  }
+
+  std::uint64_t retried = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t exhausted = 0;
+  for (const auto& client : clients) {
+    retried += client->retries();
+    reconnects += client->reconnects();
+    exhausted += client->exhausted();
   }
 
   const obs::HistogramSummary latency =
@@ -341,6 +372,12 @@ int main(int argc, char** argv) {
     std::printf("  byte-identity: %llu comparisons, %llu mismatches\n",
                 static_cast<unsigned long long>(state.compared.load()),
                 static_cast<unsigned long long>(state.mismatches.load()));
+    if (retry.retries > 0 || retried > 0) {
+      std::printf("  retries %llu, reconnects %llu, exhausted %llu\n",
+                  static_cast<unsigned long long>(retried),
+                  static_cast<unsigned long long>(reconnects),
+                  static_cast<unsigned long long>(exhausted));
+    }
     if (state.validate) {
       std::printf("  validated %llu schedules, %llu invalid\n",
                   static_cast<unsigned long long>(state.validated.load()),
@@ -360,6 +397,13 @@ int main(int argc, char** argv) {
     manifest.extra.emplace_back("connections", std::to_string(connections));
     manifest.extra.emplace_back("family", family);
     manifest.extra.emplace_back("algo", opts.get("algo", "bkpq"));
+    manifest.extra.emplace_back("timeout_ms",
+                                std::to_string(retry.timeout_ms));
+    manifest.extra.emplace_back("retry_budget",
+                                std::to_string(retry.retries));
+    manifest.extra.emplace_back("retries", std::to_string(retried));
+    manifest.extra.emplace_back("reconnects", std::to_string(reconnects));
+    manifest.extra.emplace_back("exhausted", std::to_string(exhausted));
     if (std::ofstream out(path); out) {
       io::write_json_manifest(out, manifest);
     }
@@ -382,6 +426,12 @@ int main(int argc, char** argv) {
   if (opts.flag("expect-cache-hits") && state.cache_hits.load() == 0) {
     std::fprintf(stderr,
                  "qbss-loadgen: expected cache hits, got none\n");
+    failed = true;
+  }
+  if (opts.flag("expect-retries") && retried == 0) {
+    std::fprintf(stderr,
+                 "qbss-loadgen: expected retries (is the fault plan "
+                 "active?), got none\n");
     failed = true;
   }
   return failed ? 1 : 0;
