@@ -6,6 +6,8 @@
 // BKP/BKPQ pay O(n^3) for the profile max, AVR(m) scales with m.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,10 +30,13 @@
 #include "qbss/oaq.hpp"
 #include "scheduling/avr.hpp"
 #include "scheduling/bkp.hpp"
+#include "scheduling/density_scan.hpp"
 #include "scheduling/multi/avr_m.hpp"
 #include "scheduling/oa.hpp"
 #include "scheduling/yds.hpp"
 #include "scheduling/yds_common.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
 
 namespace {
 
@@ -49,7 +54,59 @@ void BM_Yds(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_Yds)->RangeMultiplier(2)->Range(8, 2048)->Complexity();
+BENCHMARK(BM_Yds)->RangeMultiplier(2)->Range(8, 4096)->Complexity();
+
+void BM_SolveMany(benchmark::State& state) {
+  // Batched entry point: one warm arena across the whole batch (the
+  // service's worker loop takes this path). Batch of 32 instances at
+  // the given size, distinct seeds.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<scheduling::Instance> instances;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    instances.push_back(core::clairvoyant_instance(
+        gen::random_online(n, 10.0, 0.5, 4.0, 1000 + s)));
+  }
+  std::vector<const scheduling::Instance*> ptrs;
+  for (const auto& inst : instances) ptrs.push_back(&inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduling::solve_many(ptrs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ptrs.size()));
+}
+BENCHMARK(BM_SolveMany)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_DensityScan(benchmark::State& state) {
+  // The solver's inner row scan in isolation, at sizes up to n = 1e6
+  // (the full general solver is quadratic in events and cannot reach
+  // that; this isolates the per-row cost that SIMD targets). Mode
+  // follows the build: vector kernel when compiled, scalar otherwise.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> work(n), ends(n), used(n), prefix(n), intensity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    work[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+    ends[i] = 1.0 + static_cast<double>(i);
+    used[i] = 0.25 * static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    scheduling::RowScan row;
+    if (scheduling::density_simd_compiled()) {
+      row = scheduling::density_row_simd(0.0, 0.0, 0.0, work.data(),
+                                         ends.data(), used.data(), 0, n,
+                                         prefix.data(), intensity.data());
+    } else {
+      row = scheduling::density_row_scalar(0.0, 0.0, 0.0, work.data(),
+                                           ends.data(), used.data(), 0, n);
+    }
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DensityScan)
+    ->RangeMultiplier(4)
+    ->Range(1 << 8, 1 << 20)
+    ->Complexity();
 
 void BM_YdsReference(benchmark::State& state) {
   // The direct-scan oracle kept for differential testing; small n only —
@@ -94,7 +151,7 @@ void BM_YdsCommonRelease(benchmark::State& state) {
 }
 BENCHMARK(BM_YdsCommonRelease)
     ->RangeMultiplier(4)
-    ->Range(8, 2048)
+    ->Range(8, 1 << 20)
     ->Complexity();
 
 void BM_Avr(benchmark::State& state) {
@@ -194,6 +251,70 @@ void BM_Clairvoyant(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Clairvoyant)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_SvcThroughput(benchmark::State& state) {
+  // End-to-end service round-trips over a Unix-domain socket: an
+  // in-process server, one closed-loop client, a cache-resident request
+  // (range(0) = 1) or a rotating set of misses-then-hits (range(0) > 1).
+  // items_per_second is the service's single-connection reqs/s; the
+  // svc.latency_us histogram lands in the embedded manifest, giving the
+  // perf gate p50/p99.
+  const int distinct = static_cast<int>(state.range(0));
+  svc::ServerConfig config;
+  config.socket_path =
+      "/tmp/qbss-bench-" + std::to_string(::getpid()) + ".sock";
+  config.workers = 2;
+  config.manifest_path.clear();
+  svc::Server server(std::move(config));
+  std::string error;
+  if (!server.start(&error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  svc::Client client;
+  if (!client.connect_unix("/tmp/qbss-bench-" + std::to_string(::getpid()) +
+                               ".sock",
+                           &error)) {
+    state.SkipWithError(error.c_str());
+    server.shutdown();
+    server.wait();
+    return;
+  }
+  std::vector<svc::Request> requests;
+  for (int i = 0; i < distinct; ++i) {
+    svc::Request request;
+    request.algo = "bkpq";
+    request.instance = gen::random_online(16, 10.0, 0.5, 4.0,
+                                          static_cast<std::uint64_t>(i));
+    requests.push_back(std::move(request));
+  }
+  // Warm the cache so the steady state measures the zero-copy hit path.
+  for (const svc::Request& request : requests) {
+    svc::Client::Reply reply;
+    if (!client.call(request, &reply, &error)) {
+      state.SkipWithError(error.c_str());
+      server.shutdown();
+      server.wait();
+      return;
+    }
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    svc::Client::Reply reply;
+    if (!client.call(requests[next], &reply, &error)) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(reply);
+    next = (next + 1) % requests.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  server.shutdown();
+  server.wait();
+  std::remove(("/tmp/qbss-bench-" + std::to_string(::getpid()) + ".sock")
+                  .c_str());
+}
+BENCHMARK(BM_SvcThroughput)->Arg(1)->Arg(64)->UseRealTime();
 
 // Splices the run manifest into the google-benchmark JSON at `path`:
 // the file's closing '}' is replaced by ,"manifest":{...}}. Leaves the

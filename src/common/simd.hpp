@@ -1,0 +1,77 @@
+// Small portable SIMD wrapper for the solver's vector loops.
+//
+// Compiled in only when the build opts in with -DQBSS_SIMD=ON (CMake
+// adds the QBSS_SIMD definition and, on x86-64, -mavx2). The wrapper
+// exposes a fixed-width double vector (4 lanes on AVX2, 2 on NEON) with
+// exactly the operations the density scan needs: unaligned load/store,
+// broadcast, subtract, divide, max. Every operation is lane-wise IEEE —
+// bit-identical to the scalar equivalent — which is what lets the SIMD
+// scan promise byte-identical schedules (see density_scan.hpp and the
+// differential tests in tests/test_perf_core.cpp).
+//
+// Without QBSS_SIMD (or on an ISA the wrapper doesn't know) nothing
+// here is defined beyond QBSS_SIMD_ENABLED == 0; call sites must guard
+// with #if QBSS_SIMD_ENABLED and fall back to their scalar path.
+#pragma once
+
+#include <cstddef>
+
+#if defined(QBSS_SIMD)
+#if defined(__AVX__)
+#include <immintrin.h>
+#define QBSS_SIMD_ENABLED 1
+#define QBSS_SIMD_AVX 1
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#include <arm_neon.h>
+#define QBSS_SIMD_ENABLED 1
+#define QBSS_SIMD_NEON 1
+#endif
+#endif
+
+#ifndef QBSS_SIMD_ENABLED
+#define QBSS_SIMD_ENABLED 0
+#endif
+
+#if QBSS_SIMD_ENABLED
+
+namespace qbss::simd {
+
+#if defined(QBSS_SIMD_AVX)
+
+inline constexpr std::size_t kLanes = 4;
+using VecD = __m256d;
+
+inline VecD load(const double* p) noexcept { return _mm256_loadu_pd(p); }
+inline void store(double* p, VecD v) noexcept { _mm256_storeu_pd(p, v); }
+inline VecD broadcast(double x) noexcept { return _mm256_set1_pd(x); }
+inline VecD sub(VecD a, VecD b) noexcept { return _mm256_sub_pd(a, b); }
+inline VecD div(VecD a, VecD b) noexcept { return _mm256_div_pd(a, b); }
+inline VecD max(VecD a, VecD b) noexcept { return _mm256_max_pd(a, b); }
+
+#elif defined(QBSS_SIMD_NEON)
+
+inline constexpr std::size_t kLanes = 2;
+using VecD = float64x2_t;
+
+inline VecD load(const double* p) noexcept { return vld1q_f64(p); }
+inline void store(double* p, VecD v) noexcept { vst1q_f64(p, v); }
+inline VecD broadcast(double x) noexcept { return vdupq_n_f64(x); }
+inline VecD sub(VecD a, VecD b) noexcept { return vsubq_f64(a, b); }
+inline VecD div(VecD a, VecD b) noexcept { return vdivq_f64(a, b); }
+inline VecD max(VecD a, VecD b) noexcept { return vmaxq_f64(a, b); }
+
+#endif
+
+/// Horizontal max across lanes. Inputs here are finite (the density
+/// scan's intensities), so NaN propagation rules don't matter.
+inline double hmax(VecD v) noexcept {
+  double lanes[kLanes];
+  store(lanes, v);
+  double m = lanes[0];
+  for (std::size_t i = 1; i < kLanes; ++i) m = m < lanes[i] ? lanes[i] : m;
+  return m;
+}
+
+}  // namespace qbss::simd
+
+#endif  // QBSS_SIMD_ENABLED

@@ -1,12 +1,19 @@
 #include "scheduling/edf.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
 
 namespace qbss::scheduling {
 
 namespace {
 
-/// Work below which a job counts as finished (absorbs rounding).
+/// Work below which a job counts as finished, relative to the instance's
+/// total work (absorbs rounding). An absolute threshold fails at scale:
+/// the cursor accumulates one rounding error per allocation, so by
+/// n ~ 1e5 the residual on the last job in a cell is orders of magnitude
+/// above any fixed epsilon while still being pure noise.
 constexpr double kWorkEps = 1e-10;
 
 }  // namespace
@@ -22,7 +29,34 @@ EdfResult edf_allocate(const Instance& instance, const StepFunction& profile) {
   grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
 
   std::vector<Work> remaining(n);
-  for (std::size_t i = 0; i < n; ++i) remaining[i] = instance.jobs()[i].work;
+  Work total_work = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining[i] = instance.jobs()[i].work;
+    total_work += remaining[i];
+  }
+  const double work_eps = kWorkEps * std::max(1.0, total_work);
+
+  // Jobs sorted by release feed a (deadline, index) min-heap of released
+  // jobs, replacing the original O(n) scan per pick: O((n + cells) log n)
+  // overall, same pick order (earliest deadline, lowest index on ties).
+  std::vector<std::uint32_t> by_release(n);
+  std::iota(by_release.begin(), by_release.end(), 0u);
+  std::sort(by_release.begin(), by_release.end(),
+            [&instance](std::uint32_t a, std::uint32_t b) {
+              const double ra = instance.jobs()[a].release;
+              const double rb = instance.jobs()[b].release;
+              if (ra != rb) return ra < rb;
+              return a < b;
+            });
+  const auto later = [&instance](std::uint32_t a, std::uint32_t b) {
+    const double da = instance.jobs()[a].deadline;
+    const double db = instance.jobs()[b].deadline;
+    if (da != db) return da > db;
+    return a > b;
+  };
+  std::vector<std::uint32_t> heap;
+  heap.reserve(n);
+  std::size_t next_release = 0;
 
   ScheduleBuilder builder(n);
   bool feasible = true;
@@ -32,31 +66,31 @@ EdfResult edf_allocate(const Instance& instance, const StepFunction& profile) {
     const Time b = grid[g + 1];
     const Speed s = profile.value(b);  // constant on (a, b]
 
-    // A job whose deadline has passed with work pending can never finish.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (remaining[i] > kWorkEps && instance.jobs()[i].deadline <= a) {
-        feasible = false;
-      }
+    while (next_release < n &&
+           instance.jobs()[by_release[next_release]].release <= a) {
+      heap.push_back(by_release[next_release++]);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+    // Expired jobs surface at the heap top (deadline order). One with
+    // work pending can never finish.
+    while (!heap.empty() &&
+           instance.jobs()[heap.front()].deadline <= a) {
+      if (remaining[heap.front()] > work_eps) feasible = false;
+      std::pop_heap(heap.begin(), heap.end(), later);
+      heap.pop_back();
     }
     if (s <= 0.0) continue;
 
     Time cursor = a;
-    while (cursor < b) {
+    while (cursor < b && !heap.empty()) {
       // Earliest-deadline released pending job.
-      JobId pick = -1;
-      for (std::size_t i = 0; i < n; ++i) {
-        const ClassicalJob& j = instance.jobs()[i];
-        if (remaining[i] <= kWorkEps) continue;
-        if (j.release > a) continue;  // arrives at a grid point >= b
-        if (j.deadline <= a) continue;
-        if (pick < 0 ||
-            j.deadline < instance.job(pick).deadline) {
-          pick = static_cast<JobId>(i);
-        }
+      const std::uint32_t pick = heap.front();
+      auto& rem = remaining[pick];
+      if (rem <= work_eps) {  // finished earlier; retire it
+        std::pop_heap(heap.begin(), heap.end(), later);
+        heap.pop_back();
+        continue;
       }
-      if (pick < 0) break;  // nothing released and pending: idle
-
-      auto& rem = remaining[static_cast<std::size_t>(pick)];
       Time finish = cursor + rem / s;
       // Snap to the cell boundary when division noise lands within an
       // ulp-scale band of it, so profile breakpoints stay exactly on the
@@ -64,15 +98,20 @@ EdfResult edf_allocate(const Instance& instance, const StepFunction& profile) {
       if (std::fabs(finish - b) <= kEps * std::max(1.0, std::fabs(b))) {
         finish = b;
       }
+      if (finish <= cursor) {  // below time resolution: cannot progress
+        std::pop_heap(heap.begin(), heap.end(), later);
+        heap.pop_back();
+        continue;
+      }
       const Time until = std::min(b, finish);
-      builder.add_rate(pick, {cursor, until}, s);
+      builder.add_rate(static_cast<JobId>(pick), {cursor, until}, s);
       rem = std::max(0.0, rem - s * (until - cursor));
       cursor = until;
     }
   }
 
   for (std::size_t i = 0; i < n; ++i) {
-    if (remaining[i] > kWorkEps) feasible = false;
+    if (remaining[i] > work_eps) feasible = false;
   }
 
   EdfResult out;

@@ -1,15 +1,26 @@
 #include "scheduling/yds.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common/interval_set.hpp"
 #include "obs/span.hpp"
+#include "scheduling/arena.hpp"
+#include "scheduling/density_scan.hpp"
 #include "scheduling/edf.hpp"
+#include "scheduling/soa.hpp"
 
 namespace qbss::scheduling {
 
 namespace {
+
+std::atomic<ScanMode> g_scan_mode{ScanMode::kAuto};
+
+/// Rows shorter than this stay scalar under kAuto: the vector kernel's
+/// extra passes over scratch only pay off once the divisions dominate.
+constexpr std::size_t kSimdRowThreshold = 32;
 
 /// One critical-interval selection round. Candidate intervals run from a
 /// release time to a deadline of the remaining jobs; intensity counts only
@@ -66,27 +77,51 @@ Critical find_critical_reference(const Instance& instance,
   return best;
 }
 
-/// Reusable buffers for the event-grid critical search, so the per-round
-/// allocations don't dominate once the scan itself is O(1) per candidate.
-struct CriticalWorkspace {
-  std::vector<Time> starts;          // distinct releases of remaining jobs
-  std::vector<Time> ends;            // distinct deadlines of remaining jobs
-  std::vector<std::size_t> by_release;  // remaining jobs, release-descending
-  std::vector<Work> work_at_rank;    // work keyed by deadline rank
-  std::vector<Work> prefix;          // prefix sums of work_at_rank
-  std::vector<Time> used_at_start;   // used-measure of (-inf, t] per start
-  std::vector<Time> used_at_end;     // same per end
+/// Arena-backed scratch for the event-grid critical search. Every array
+/// is carved from the thread-local SolveArena in one shot when the solve
+/// starts; nothing here touches the heap, so a warm arena makes the whole
+/// solve allocation-free outside the Schedule it returns (and the
+/// per-round EDF sub-allocation, which is bounded by the round's
+/// contained set, not by n).
+struct FastWorkspace {
+  SoaInstance soa;
+  unsigned char* done = nullptr;     ///< 0/1 per job
+  double* starts = nullptr;          ///< distinct releases of remaining jobs
+  double* ends = nullptr;            ///< distinct deadlines of remaining jobs
+  std::uint32_t* by_release = nullptr;  ///< remaining jobs, release-descending
+  std::uint32_t* rank = nullptr;     ///< deadline rank per by_release entry
+  double* work_at_rank = nullptr;    ///< work keyed by deadline rank
+  double* used_at_start = nullptr;   ///< used-measure of (-inf, t] per start
+  double* used_at_end = nullptr;     ///< same per end
+  double* prefix = nullptr;          ///< SIMD kernel scratch
+  double* intensity = nullptr;       ///< SIMD kernel scratch
+  std::uint32_t* contained = nullptr;  ///< the winning round's job set
+
+  FastWorkspace(const Instance& instance, SolveArena& arena)
+      : soa(instance, arena) {
+    const std::size_t n = soa.size();
+    done = arena.alloc<unsigned char>(n);
+    starts = arena.alloc<double>(n);
+    ends = arena.alloc<double>(n);
+    by_release = arena.alloc<std::uint32_t>(n);
+    rank = arena.alloc<std::uint32_t>(n);
+    work_at_rank = arena.alloc<double>(n);
+    used_at_start = arena.alloc<double>(n);
+    used_at_end = arena.alloc<double>(n);
+    prefix = arena.alloc<double>(n);
+    intensity = arena.alloc<double>(n);
+    contained = arena.alloc<std::uint32_t>(n);
+  }
 };
 
 /// Cumulative occupancy sweep: out[k] = |used ∩ (-inf, times[k]]| for the
 /// ascending `times`. One pass over the sorted disjoint members.
-void cumulative_used(const IntervalSet& used, const std::vector<Time>& times,
-                     std::vector<Time>& out) {
-  out.assign(times.size(), 0.0);
+void cumulative_used(const IntervalSet& used, const double* times,
+                     std::size_t count, double* out) {
   const auto& members = used.members();
   std::size_t m = 0;
   Time before = 0.0;  // total length of members fully left of times[k]
-  for (std::size_t k = 0; k < times.size(); ++k) {
+  for (std::size_t k = 0; k < count; ++k) {
     const Time t = times[k];
     while (m < members.size() && members[m].end <= t) {
       before += members[m].length();
@@ -100,98 +135,113 @@ void cumulative_used(const IntervalSet& used, const std::vector<Time>& times,
   }
 }
 
-/// Event-grid critical search: O(n log n + S·E) per round (S distinct
-/// releases, E distinct deadlines) instead of the reference's O(S·E·n).
-/// Containment work is a prefix sum over deadline ranks of the jobs whose
-/// release clears the candidate start; occupancy is a cumulative sweep of
-/// the disjoint `used` members, so each candidate costs O(1).
-Critical find_critical(const Instance& instance,
-                       const std::vector<bool>& done, const IntervalSet& used,
-                       CriticalWorkspace& ws) {
-  ws.starts.clear();
-  ws.ends.clear();
-  ws.by_release.clear();
-  for (std::size_t i = 0; i < instance.size(); ++i) {
-    if (done[i]) continue;
-    ws.starts.push_back(instance.jobs()[i].release);
-    ws.ends.push_back(instance.jobs()[i].deadline);
-    ws.by_release.push_back(i);
+/// Like Critical, but the contained set lives in the workspace (no heap).
+struct FastCritical {
+  Interval span;
+  double intensity = -1.0;
+  std::size_t contained_count = 0;
+};
+
+/// Event-grid critical search over the SoA view: O(n log n) setup plus
+/// one density-scan row per distinct release. Containment work is a
+/// prefix sum over deadline ranks of the jobs whose release clears the
+/// candidate start; occupancy is a cumulative sweep of the disjoint
+/// `used` members, so each candidate costs O(1). Rows scan only their
+/// admissible suffix [min entered rank, E): everything below it has zero
+/// contained work, and every end from there on lies right of t1 (an
+/// entered job's deadline exceeds its release >= t1).
+FastCritical find_critical_fast(FastWorkspace& ws, const IntervalSet& used) {
+  const std::size_t n = ws.soa.size();
+  const double* rel = ws.soa.release();
+  const double* dl = ws.soa.deadline();
+  const double* wk = ws.soa.work();
+
+  std::size_t s_count = 0;
+  std::size_t e_count = 0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ws.done[i]) continue;
+    ws.starts[s_count++] = rel[i];
+    ws.ends[e_count++] = dl[i];
+    ws.by_release[m++] = static_cast<std::uint32_t>(i);
   }
-  std::sort(ws.starts.begin(), ws.starts.end());
-  ws.starts.erase(std::unique(ws.starts.begin(), ws.starts.end()),
-                  ws.starts.end());
-  std::sort(ws.ends.begin(), ws.ends.end());
-  ws.ends.erase(std::unique(ws.ends.begin(), ws.ends.end()), ws.ends.end());
-  std::sort(ws.by_release.begin(), ws.by_release.end(),
-            [&](std::size_t a, std::size_t b) {
-              return instance.jobs()[a].release > instance.jobs()[b].release;
-            });
+  std::sort(ws.starts, ws.starts + s_count);
+  s_count = static_cast<std::size_t>(
+      std::unique(ws.starts, ws.starts + s_count) - ws.starts);
+  std::sort(ws.ends, ws.ends + e_count);
+  e_count = static_cast<std::size_t>(std::unique(ws.ends, ws.ends + e_count) -
+                                     ws.ends);
+  std::sort(ws.by_release, ws.by_release + m,
+            [rel](std::uint32_t a, std::uint32_t b) { return rel[a] > rel[b]; });
+  for (std::size_t k = 0; k < m; ++k) {
+    ws.rank[k] = static_cast<std::uint32_t>(
+        std::lower_bound(ws.ends, ws.ends + e_count, dl[ws.by_release[k]]) -
+        ws.ends);
+  }
 
-  cumulative_used(used, ws.starts, ws.used_at_start);
-  cumulative_used(used, ws.ends, ws.used_at_end);
+  cumulative_used(used, ws.starts, s_count, ws.used_at_start);
+  cumulative_used(used, ws.ends, e_count, ws.used_at_end);
+  std::fill_n(ws.work_at_rank, e_count, 0.0);
 
-  ws.work_at_rank.assign(ws.ends.size(), 0.0);
-  ws.prefix.assign(ws.ends.size(), 0.0);
+  const ScanMode mode = yds_scan_mode();
+  const bool simd_allowed =
+      density_simd_compiled() && mode != ScanMode::kScalar;
+  const std::size_t simd_min = mode == ScanMode::kSimd ? 0 : kSimdRowThreshold;
 
-  // Counter adds happen once per round (outside the scan loops), so the
-  // instrumented hot path costs three relaxed fetch_adds per round.
-  QBSS_COUNT_ADD("yds.candidates_scanned", ws.starts.size() * ws.ends.size());
-  QBSS_COUNT_ADD("yds.prefix_rebuilds", ws.starts.size());
-
-  Critical best;
+  FastCritical best;
   std::size_t next = 0;  // cursor into by_release
+  std::size_t min_rank = e_count;  // lowest deadline rank entered so far
+  std::size_t scanned = 0;
   // Sweep candidate starts from the right: each remaining job enters the
   // deadline-rank histogram exactly once, when t1 drops to its release.
-  for (std::size_t si = ws.starts.size(); si-- > 0;) {
-    const Time t1 = ws.starts[si];
-    while (next < ws.by_release.size() &&
-           instance.jobs()[ws.by_release[next]].release >= t1) {
-      const ClassicalJob& j = instance.jobs()[ws.by_release[next]];
-      const std::size_t rank = static_cast<std::size_t>(
-          std::lower_bound(ws.ends.begin(), ws.ends.end(), j.deadline) -
-          ws.ends.begin());
-      ws.work_at_rank[rank] += j.work;
+  for (std::size_t si = s_count; si-- > 0;) {
+    const double t1 = ws.starts[si];
+    while (next < m && rel[ws.by_release[next]] >= t1) {
+      const std::size_t r = ws.rank[next];
+      ws.work_at_rank[r] += wk[ws.by_release[next]];
+      min_rank = r < min_rank ? r : min_rank;
       ++next;
     }
-    Work running = 0.0;
-    for (std::size_t ej = 0; ej < ws.ends.size(); ++ej) {
-      running += ws.work_at_rank[ej];
-      ws.prefix[ej] = running;
-    }
-    for (std::size_t ej = 0; ej < ws.ends.size(); ++ej) {
-      const Time t2 = ws.ends[ej];
-      if (t2 <= t1) continue;
-      const Work inside = ws.prefix[ej];
-      if (inside <= 0.0) continue;  // no (positive-work) job contained
-      const Time avail =
-          (t2 - t1) - (ws.used_at_end[ej] - ws.used_at_start[si]);
-      // Windows of remaining jobs always retain free time (otherwise an
-      // earlier round would not have been maximal); guard regardless.
-      QBSS_ENSURES(avail > 0.0);
-      const double intensity = inside / avail;
-      // Ties resolve to the lexicographically smallest (t1, t2), matching
-      // the reference scan order.
-      if (intensity > best.intensity ||
-          (intensity == best.intensity &&
-           (t1 < best.span.begin ||
-            (t1 == best.span.begin && t2 < best.span.end)))) {
-        best.span = {t1, t2};
-        best.intensity = intensity;
-      }
+    const std::size_t row_len = e_count - min_rank;
+    scanned += row_len;
+    const RowScan row =
+        simd_allowed && row_len >= simd_min
+            ? density_row_simd(0.0, t1, ws.used_at_start[si], ws.work_at_rank,
+                               ws.ends, ws.used_at_end, min_rank, e_count,
+                               ws.prefix, ws.intensity)
+            : density_row_scalar(0.0, t1, ws.used_at_start[si],
+                                 ws.work_at_rank, ws.ends, ws.used_at_end,
+                                 min_rank, e_count);
+    // Ties resolve to the lexicographically smallest (t1, t2), matching the
+    // reference scan order: the kernel keeps the smallest t2 in-row, and t1
+    // strictly decreases across rows, so >= prefers the later (smaller) t1.
+    if (row.intensity >= best.intensity) {
+      best.span = {t1, ws.ends[row.index]};
+      best.intensity = row.intensity;
     }
   }
+
+  // Counter adds happen once per round (outside the scan loops), so the
+  // instrumented hot path costs a few relaxed fetch_adds per round.
+  QBSS_COUNT_ADD("yds.candidates_scanned",
+                 static_cast<std::uint64_t>(scanned));
+  QBSS_COUNT_ADD("yds.rows_scanned", static_cast<std::uint64_t>(s_count));
 
   // Materialize the contained set only for the winner (job-index order,
   // like the reference, so the EDF sub-instance is identical).
-  for (std::size_t i = 0; i < instance.size(); ++i) {
-    if (done[i]) continue;
-    if (best.span.covers(instance.jobs()[i].window())) {
-      best.contained.push_back(static_cast<JobId>(i));
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ws.done[i]) continue;
+    if (best.span.covers(Interval{rel[i], dl[i]})) {
+      ws.contained[c++] = static_cast<std::uint32_t>(i);
     }
   }
+  best.contained_count = c;
   return best;
 }
 
+/// The reference peeling loop, shared only by yds_reference now; the fast
+/// path has its own arena-backed loop below.
 template <typename FindCritical>
 Schedule yds_peel(const Instance& instance, FindCritical&& find) {
   const std::size_t n = instance.size();
@@ -245,16 +295,98 @@ Schedule yds_peel(const Instance& instance, FindCritical&& find) {
   return std::move(builder).build();
 }
 
+/// Fast peeling loop: SoA view + arena scratch + density-scan kernels.
+/// Selects the same critical intervals (same tie-breaks, same FP
+/// operation order candidate-for-candidate) as the reference loop, so the
+/// schedules are byte-identical — tests/test_perf_core.cpp asserts this
+/// across every generator family.
+Schedule yds_fast(const Instance& instance) {
+  // The thread arena is rewound at entry: blocks persist across solves,
+  // so a warm thread performs zero heap allocations here. yds() must not
+  // be re-entered from inside a solve on the same thread (no caller does;
+  // EDF and the step-function algebra never call back into yds).
+  SolveArena& arena = solve_arena();
+  arena.reset();
+  FastWorkspace ws(instance, arena);
+
+  const std::size_t n = ws.soa.size();
+  const double* rel = ws.soa.release();
+  const double* dl = ws.soa.deadline();
+  const double* wk = ws.soa.work();
+
+  IntervalSet used;
+  ScheduleBuilder builder(n);
+  std::size_t left = n;
+
+  // Zero-work jobs never influence intensities; mark them done upfront.
+  for (std::size_t i = 0; i < n; ++i) {
+    ws.done[i] = wk[i] == 0.0 ? 1 : 0;
+    if (ws.done[i]) --left;
+  }
+
+  while (left > 0) {
+    QBSS_COUNT("yds.rounds");
+    const FastCritical crit = find_critical_fast(ws, used);
+    QBSS_ENSURES(crit.contained_count > 0);
+
+    const std::vector<Interval> slots = used.gaps_within(crit.span);
+    StepFunction profile;
+    for (const Interval& g : slots) {
+      profile.add_constant(g, crit.intensity);
+    }
+
+    Instance sub;
+    for (std::size_t k = 0; k < crit.contained_count; ++k) {
+      const std::size_t id = ws.contained[k];
+      sub.add(rel[id], dl[id], wk[id]);
+    }
+    const EdfResult packed = edf_allocate(sub, profile);
+    QBSS_ENSURES(packed.feasible);
+    for (std::size_t k = 0; k < crit.contained_count; ++k) {
+      builder.add_rate(static_cast<JobId>(ws.contained[k]),
+                       packed.schedule.rate(static_cast<JobId>(k)));
+    }
+
+    used.insert(crit.span);
+    for (std::size_t k = 0; k < crit.contained_count; ++k) {
+      ws.done[ws.contained[k]] = 1;
+      --left;
+    }
+  }
+
+  return std::move(builder).build();
+}
+
 }  // namespace
+
+void set_yds_scan_mode(ScanMode mode) {
+  g_scan_mode.store(mode, std::memory_order_relaxed);
+}
+
+ScanMode yds_scan_mode() {
+  return g_scan_mode.load(std::memory_order_relaxed);
+}
+
+bool yds_simd_compiled() { return density_simd_compiled(); }
 
 Schedule yds(const Instance& instance) {
   QBSS_SPAN("yds.solve");
-  CriticalWorkspace ws;
-  return yds_peel(instance,
-                  [&ws](const Instance& inst, const std::vector<bool>& done,
-                        const IntervalSet& used) {
-                    return find_critical(inst, done, used, ws);
-                  });
+  return yds_fast(instance);
+}
+
+std::vector<Schedule> solve_many(std::span<const Instance* const> instances) {
+  QBSS_SPAN("yds.solve_many");
+  std::vector<Schedule> out;
+  out.reserve(instances.size());
+  // Sequential on purpose: every solve rewinds and reuses this thread's
+  // arena, so the batch shares one warm footprint — after the first solve
+  // (or a warm thread), the remaining solves never touch the heap for
+  // scratch. Results are identical to calling yds() in a loop.
+  for (const Instance* ins : instances) {
+    QBSS_EXPECTS(ins != nullptr);
+    out.push_back(yds(*ins));
+  }
+  return out;
 }
 
 Schedule yds_reference(const Instance& instance) {

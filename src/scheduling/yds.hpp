@@ -16,17 +16,47 @@
 // brute-force optima.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "scheduling/schedule.hpp"
 
 namespace qbss::scheduling {
 
 /// Computes the energy-optimal preemptive single-machine schedule.
-/// Fast path: each critical-interval round scans the event grid with
-/// prefix-summed contained work and a cumulative occupancy sweep, so a
-/// round costs O(n log n + S·E) for S distinct releases and E distinct
-/// deadlines (the reference pays another factor n per candidate).
+/// Fast path: the instance is mirrored into a structure-of-arrays view
+/// (SoaInstance) backed by the thread-local SolveArena, and each
+/// critical-interval round scans the event grid with prefix-summed
+/// contained work and a cumulative occupancy sweep, so a round costs
+/// O(n log n) setup plus one density-scan row per distinct release (the
+/// reference pays another factor n per candidate). All scratch comes
+/// from the arena: on a warm thread the solve performs zero heap
+/// allocations outside the returned Schedule (see docs/PERFORMANCE.md).
 /// Precondition: instance jobs are valid (enforced by Instance).
 [[nodiscard]] Schedule yds(const Instance& instance);
+
+/// Solves a batch of instances, sharing one warm arena across the whole
+/// batch (the per-thread arena is rewound, not freed, between solves).
+/// Output is byte-identical to calling yds() on each instance in order.
+/// Entries must be non-null.
+[[nodiscard]] std::vector<Schedule> solve_many(
+    std::span<const Instance* const> instances);
+
+/// Which density-scan kernel the solver uses. kAuto picks the SIMD
+/// kernel for long rows when the build compiled it (-DQBSS_SIMD=ON on a
+/// supported ISA) and the fused scalar kernel otherwise; kScalar and
+/// kSimd force one kernel for differential testing. Both kernels produce
+/// byte-identical schedules, so the mode never changes results — only
+/// which instructions compute them.
+enum class ScanMode { kAuto, kScalar, kSimd };
+
+/// Sets the process-wide density-scan mode (thread-safe; test support).
+void set_yds_scan_mode(ScanMode mode);
+[[nodiscard]] ScanMode yds_scan_mode();
+
+/// True when this binary contains the vector kernel. When false, kSimd
+/// silently behaves like kScalar.
+[[nodiscard]] bool yds_simd_compiled();
 
 /// The original direct-scan solver (O(n) containment recount per candidate
 /// interval). Same peeling loop, same tie-breaking, kept as the oracle for

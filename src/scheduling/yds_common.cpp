@@ -1,9 +1,10 @@
 #include "scheduling/yds_common.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
-#include <vector>
 
+#include "scheduling/arena.hpp"
 #include "scheduling/edf.hpp"
 
 namespace qbss::scheduling {
@@ -11,58 +12,73 @@ namespace qbss::scheduling {
 namespace {
 
 /// The staircase profile via the concave-majorant hull of the cumulative
-/// work curve.
+/// work curve. All scratch (deadline order, the cumulative-work points,
+/// the hull) lives in the thread-local SolveArena as parallel arrays, so
+/// a warm thread builds the profile without heap allocations outside the
+/// returned StepFunction.
 StepFunction staircase(const Instance& instance, Time origin) {
+  SolveArena& arena = solve_arena();
+  arena.reset();
+  const std::size_t n = instance.size();
+
   // Sort jobs by deadline; accumulate work per distinct deadline.
-  std::vector<std::size_t> order(instance.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return instance.jobs()[a].deadline < instance.jobs()[b].deadline;
+  std::uint32_t* order = arena.alloc<std::uint32_t>(n);
+  std::iota(order, order + n, 0u);
+  const auto jobs = instance.jobs();
+  std::sort(order, order + n, [&jobs](std::uint32_t a, std::uint32_t b) {
+    return jobs[a].deadline < jobs[b].deadline;
   });
 
-  struct Point {
-    Time t;   // deadline (relative to origin)
-    Work w;   // cumulative work through this deadline
-  };
-  std::vector<Point> points;
+  // points: deadline (relative to origin) and cumulative work through it.
+  double* point_t = arena.alloc<double>(n);
+  double* point_w = arena.alloc<double>(n);
+  std::size_t points = 0;
   Work cumulative = 0.0;
-  for (const std::size_t j : order) {
-    const ClassicalJob& job = instance.jobs()[j];
+  for (std::size_t k = 0; k < n; ++k) {
+    const ClassicalJob& job = jobs[order[k]];
     cumulative += job.work;
     const Time t = job.deadline - origin;
-    if (!points.empty() && points.back().t == t) {
-      points.back().w = cumulative;
+    if (points > 0 && point_t[points - 1] == t) {
+      point_w[points - 1] = cumulative;
     } else {
-      points.push_back({t, cumulative});
+      point_t[points] = t;
+      point_w[points] = cumulative;
+      ++points;
     }
   }
 
   // Upper (concave) hull from (0, 0): keep slopes strictly decreasing.
-  std::vector<Point> hull = {{0.0, 0.0}};
-  for (const Point& p : points) {
-    while (hull.size() >= 2) {
-      const Point& a = hull[hull.size() - 2];
-      const Point& b = hull.back();
-      const double slope_ab = (b.w - a.w) / (b.t - a.t);
-      const double slope_ap = (p.w - a.w) / (p.t - a.t);
+  double* hull_t = arena.alloc<double>(points + 1);
+  double* hull_w = arena.alloc<double>(points + 1);
+  hull_t[0] = 0.0;
+  hull_w[0] = 0.0;
+  std::size_t hull = 1;
+  for (std::size_t p = 0; p < points; ++p) {
+    while (hull >= 2) {
+      const double slope_ab = (hull_w[hull - 1] - hull_w[hull - 2]) /
+                              (hull_t[hull - 1] - hull_t[hull - 2]);
+      const double slope_ap =
+          (point_w[p] - hull_w[hull - 2]) / (point_t[p] - hull_t[hull - 2]);
       if (slope_ap >= slope_ab) {
-        hull.pop_back();
+        --hull;
       } else {
         break;
       }
     }
     // Drop dominated points (smaller cumulative work at a later time
     // cannot happen since cumulative is non-decreasing).
-    hull.push_back(p);
+    hull_t[hull] = point_t[p];
+    hull_w[hull] = point_w[p];
+    ++hull;
   }
 
   StepFunction profile;
-  for (std::size_t i = 0; i + 1 < hull.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < hull; ++i) {
     const double slope =
-        (hull[i + 1].w - hull[i].w) / (hull[i + 1].t - hull[i].t);
+        (hull_w[i + 1] - hull_w[i]) / (hull_t[i + 1] - hull_t[i]);
     if (slope > 0.0) {
-      profile.add_constant(
-          {origin + hull[i].t, origin + hull[i + 1].t}, slope);
+      profile.add_constant({origin + hull_t[i], origin + hull_t[i + 1]},
+                           slope);
     }
   }
   return profile;

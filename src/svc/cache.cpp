@@ -19,29 +19,33 @@ ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
   return *shards_[fnv1a(key) % shards_.size()];
 }
 
-bool ResultCache::get(const std::string& key, std::string* payload) {
+PayloadPtr ResultCache::get(const std::string& key) {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     QBSS_COUNT("svc.cache.miss");
-    return false;
+    return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  *payload = it->second->second;
   QBSS_COUNT("svc.cache.hit");
-  return true;
+  // A refcount bump, not a copy: the caller may keep serving these bytes
+  // after the entry is evicted or refreshed.
+  return it->second->second;
 }
 
-void ResultCache::put(const std::string& key, std::string payload) {
+PayloadPtr ResultCache::put(const std::string& key, std::string payload) {
+  PayloadPtr pinned = std::make_shared<const std::string>(std::move(payload));
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
-    it->second->second = std::move(payload);
+    // Readers pinned to the old bytes keep them alive; new hits see the
+    // refreshed payload.
+    it->second->second = pinned;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+    return pinned;
   }
-  shard.lru.emplace_front(key, std::move(payload));
+  shard.lru.emplace_front(key, pinned);
   shard.index.emplace(key, shard.lru.begin());
   if (shard.lru.size() > shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
@@ -49,6 +53,7 @@ void ResultCache::put(const std::string& key, std::string payload) {
     ++shard.evicted;
     QBSS_COUNT("svc.cache.evicted");
   }
+  return pinned;
 }
 
 std::size_t ResultCache::size() const {

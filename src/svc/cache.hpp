@@ -6,6 +6,12 @@
 // contend. Capacity is split evenly across shards (at least one entry
 // each); eviction is per shard, strictly least-recently-used. Hits and
 // misses feed the `svc.cache.{hit,miss,evicted}` counters.
+//
+// Payloads are refcounted (shared_ptr<const string>): a hit hands back a
+// pin on the shard's own bytes instead of a copy, so the wire path can
+// sendmsg straight out of the cache entry while a concurrent eviction or
+// refresh on the same key stays safe — the evicted entry's bytes outlive
+// the list node for as long as any response still holds the pin.
 #pragma once
 
 #include <cstddef>
@@ -19,19 +25,25 @@
 
 namespace qbss::svc {
 
-/// Thread-safe sharded LRU: key -> serialized response payload.
+/// A pinned, immutable cache payload. Holding one keeps the bytes alive
+/// independently of the cache's own lifetime management.
+using PayloadPtr = std::shared_ptr<const std::string>;
+
+/// Thread-safe sharded LRU: key -> pinned serialized response payload.
 class ResultCache {
  public:
   /// `capacity` total entries spread over `shards` shards (both clamped
   /// to >= 1).
   ResultCache(std::size_t capacity, std::size_t shards);
 
-  /// Copies the cached payload into *payload and refreshes recency.
-  [[nodiscard]] bool get(const std::string& key, std::string* payload);
+  /// Returns a pin on the cached payload (refreshing recency), or null
+  /// on a miss. No bytes are copied — only the refcount moves.
+  [[nodiscard]] PayloadPtr get(const std::string& key);
 
   /// Inserts (or refreshes) `key`, evicting the shard's LRU tail when
-  /// full.
-  void put(const std::string& key, std::string payload);
+  /// full. Returns the pinned entry just stored, so the caller can
+  /// respond from the exact bytes it published.
+  PayloadPtr put(const std::string& key, std::string payload);
 
   /// Entries currently resident, summed over shards.
   [[nodiscard]] std::size_t size() const;
@@ -44,10 +56,10 @@ class ResultCache {
     mutable std::mutex mu;
     /// Front = most recently used. Node addresses are stable, so the
     /// index below stores iterators.
-    std::list<std::pair<std::string, std::string>> lru;
+    std::list<std::pair<std::string, PayloadPtr>> lru;
     std::unordered_map<
         std::string,
-        std::list<std::pair<std::string, std::string>>::iterator>
+        std::list<std::pair<std::string, PayloadPtr>>::iterator>
         index;
     std::size_t evicted = 0;
   };

@@ -244,7 +244,10 @@ void Server::accept_loop() {
 }
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
-  std::string payload;
+  // The frame payload lands in the connection's preallocated buffer;
+  // read_frame assigns in place, so steady-state requests reuse the same
+  // storage instead of allocating per frame.
+  std::string& payload = conn->read_buf;
   std::string error;
   for (;;) {
     FrameHeader header;
@@ -317,10 +320,14 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
   // instead of competing for the queue that just overflowed.
   const bool degraded =
       now_ns() < degraded_until_ns_.load(std::memory_order_relaxed);
-  std::string cached;
-  if (cache_.get(key, &cached)) {
+  if (const PayloadPtr hit = cache_.get(key)) {
+    // Zero-copy hit: `hit` pins the shard's own bytes (a refcount bump,
+    // no payload copy or allocation) and the scatter/gather write sends
+    // them straight to the socket. The pin keeps the bytes alive even if
+    // the entry is evicted or refreshed while the response drains.
+    QBSS_COUNT("svc.hit.zero_copy");
     if (degraded) QBSS_COUNT("svc.degraded.served");
-    respond(self, Status::kOk, kFlagCacheHit, cached);
+    respond(self, Status::kOk, kFlagCacheHit, *hit);
     return;
   }
   if (degraded) {
@@ -391,7 +398,7 @@ void Server::worker_loop() {
     }
     QBSS_COUNT("svc.batches");
     QBSS_HIST("svc.batch_size", static_cast<double>(batch.size()));
-    for (Task& task : batch) process_task(task);
+    process_batch(batch);
   }
 }
 
@@ -403,7 +410,7 @@ void Server::enter_degraded() {
   if (prev < now) QBSS_COUNT("svc.degraded.entered");
 }
 
-void Server::process_task(Task& task) {
+bool Server::prepare_task(Task& task) {
   // Past the shutdown drain deadline the backlog is answered, not
   // solved: every waiter gets a typed shed so in-flight loss is zero
   // and exit time stays bounded.
@@ -421,7 +428,7 @@ void Server::process_task(Task& task) {
         QBSS_COUNT("svc.shed.shutdown");
         respond(w, Status::kShed, 0, "reason: shutdown\n");
       }
-      return;
+      return false;
     }
   }
 
@@ -449,23 +456,20 @@ void Server::process_task(Task& task) {
     QBSS_COUNT("svc.shed.deadline");
     respond(w, Status::kShed, 0, "reason: deadline\n");
   }
-  if (skip) return;
+  return !skip;
+}
 
-  const faults::Action fault = QBSS_FAULT(faults::Site::kCompute);
-  if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
-
-  if (config_.delay_ms > 0.0) sleep_ms(config_.delay_ms);
-
-  std::string payload;
-  std::string error;
-  const bool ok = solve_request(task.request, &payload, &error);
-  if (ok) {
+void Server::finish_task(Task& task, SolveItem& item) {
+  PayloadPtr pinned;
+  if (item.ok) {
     // Publish before retiring the in-flight entry so an identical
     // request arriving in between hits the cache instead of recomputing.
-    cache_.put(task.key, payload);
+    // The returned pin is the exact bytes just stored — responses below
+    // leave from it with no further copies.
+    pinned = cache_.put(task.key, std::move(item.payload));
   } else {
     QBSS_COUNT("svc.errors");
-    payload = "message: " + error + "\n";
+    item.payload = "message: " + item.payload + "\n";
   }
 
   std::vector<Waiter> waiters;
@@ -475,12 +479,45 @@ void Server::process_task(Task& task) {
     inflight_.erase(task.key);
   }
   for (const Waiter& w : waiters) {
-    respond(w, ok ? Status::kOk : Status::kError, 0, payload);
+    respond(w, item.ok ? Status::kOk : Status::kError, 0,
+            item.ok ? std::string_view(*pinned) : std::string_view(item.payload));
+  }
+}
+
+void Server::process_batch(std::vector<Task>& batch) {
+  // Phase 1: per-task admission bookkeeping. Collect the tasks that
+  // still have live waiters.
+  std::vector<std::size_t> solvable;
+  solvable.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (prepare_task(batch[i])) solvable.push_back(i);
+  }
+  if (solvable.empty()) return;
+
+  // Fault/delay hooks: one compute opportunity per solved task, the same
+  // count and order as the previous one-solve-at-a-time loop.
+  for (std::size_t k = 0; k < solvable.size(); ++k) {
+    const faults::Action fault = QBSS_FAULT(faults::Site::kCompute);
+    if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
+    if (config_.delay_ms > 0.0) sleep_ms(config_.delay_ms);
+  }
+
+  // Phase 2: one batched solve over the whole drain — the solver arena
+  // warms once per batch instead of once per request.
+  std::vector<SolveItem> items(solvable.size());
+  for (std::size_t k = 0; k < solvable.size(); ++k) {
+    items[k].request = &batch[solvable[k]].request;
+  }
+  solve_request_batch(std::span<SolveItem>(items));
+
+  // Phase 3: publish + respond per task.
+  for (std::size_t k = 0; k < solvable.size(); ++k) {
+    finish_task(batch[solvable[k]], items[k]);
   }
 }
 
 void Server::respond(const Waiter& waiter, Status status, std::uint32_t flags,
-                     const std::string& payload) {
+                     std::string_view payload) {
   QBSS_HIST("svc.latency_us", elapsed_us(waiter.admitted));
   responses_.fetch_add(1, std::memory_order_relaxed);
   FrameHeader header;

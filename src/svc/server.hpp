@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -102,10 +103,15 @@ class Server {
   /// racing a disconnect write to a valid-but-dead socket, never to a
   /// reused descriptor.
   struct Connection {
-    explicit Connection(int fd_in) : fd(fd_in) {}
+    explicit Connection(int fd_in) : fd(fd_in) { read_buf.reserve(4096); }
     ~Connection();
     int fd;
     std::mutex write_mu;  ///< one response frame leaves at a time
+    /// Reader-owned frame payload buffer, preallocated and reused across
+    /// every request on this connection (read_frame assigns in place, so
+    /// steady-state reads never allocate). Responses need no twin: the
+    /// scatter/gather write path sends straight from the response bytes.
+    std::string read_buf;
   };
 
   /// A response destination for one admitted or coalesced request.
@@ -134,9 +140,17 @@ class Server {
   void worker_loop();
   void handle_request(const std::shared_ptr<Connection>& conn,
                       std::uint64_t request_id, const std::string& payload);
-  void process_task(Task& task);
+  /// Drains one admission batch: shed bookkeeping per task, then a
+  /// single solve_request_batch call over the survivors, then publish
+  /// and respond per task.
+  void process_batch(std::vector<Task>& batch);
+  /// Pre-solve bookkeeping for one task (shutdown-drain shed, expired
+  /// waiters). False when the task needs no solve.
+  [[nodiscard]] bool prepare_task(Task& task);
+  /// Publishes one solved task and answers its waiters.
+  void finish_task(Task& task, SolveItem& item);
   void respond(const Waiter& waiter, Status status, std::uint32_t flags,
-               const std::string& payload);
+               std::string_view payload);
   void enter_degraded();
   void write_manifest();
 

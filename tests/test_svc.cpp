@@ -36,6 +36,7 @@
 #include "gen/random_instances.hpp"
 #include "io/format.hpp"
 #include "obs/diff.hpp"
+#include "obs/registry.hpp"
 #include "qbss/bkpq.hpp"
 #include "scheduling/schedule.hpp"
 
@@ -244,20 +245,39 @@ TEST(Cache, LruEvictsOldestAndRefreshesOnGet) {
   ResultCache cache(/*capacity=*/2, /*shards=*/1);
   cache.put("a", "1");
   cache.put("b", "2");
-  std::string value;
-  EXPECT_TRUE(cache.get("a", &value));  // refresh: "a" becomes MRU
-  EXPECT_EQ(value, "1");
+  PayloadPtr value = cache.get("a");  // refresh: "a" becomes MRU
+  ASSERT_TRUE(value);
+  EXPECT_EQ(*value, "1");
   cache.put("c", "3");  // evicts "b", the LRU entry
-  EXPECT_FALSE(cache.get("b", &value));
-  EXPECT_TRUE(cache.get("a", &value));
-  EXPECT_TRUE(cache.get("c", &value));
+  EXPECT_FALSE(cache.get("b"));
+  EXPECT_TRUE(cache.get("a"));
+  EXPECT_TRUE(cache.get("c"));
   EXPECT_EQ(cache.evictions(), 1u);
   EXPECT_EQ(cache.size(), 2u);
 
   cache.put("a", "updated");
-  EXPECT_TRUE(cache.get("a", &value));
-  EXPECT_EQ(value, "updated");
+  value = cache.get("a");
+  ASSERT_TRUE(value);
+  EXPECT_EQ(*value, "updated");
   EXPECT_EQ(cache.size(), 2u) << "put of an existing key must not grow";
+}
+
+TEST(Cache, PinnedPayloadSurvivesEvictionAndRefresh) {
+  ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  const PayloadPtr stored = cache.put("a", "original");
+  ASSERT_TRUE(stored);
+  const PayloadPtr pinned = cache.get("a");
+  ASSERT_TRUE(pinned);
+  EXPECT_EQ(pinned.get(), stored.get()) << "get must pin, not copy";
+
+  // Refresh the key and push it out of the LRU entirely: a holder of the
+  // old pin must keep reading the original bytes (this is what lets the
+  // wire path sendmsg straight from a cache entry while eviction races).
+  cache.put("a", "refreshed");
+  cache.put("b", "2");
+  cache.put("c", "3");
+  EXPECT_FALSE(cache.get("a"));
+  EXPECT_EQ(*pinned, "original");
 }
 
 TEST(Cache, ShardedCapacityHoldsManyKeys) {
@@ -266,9 +286,8 @@ TEST(Cache, ShardedCapacityHoldsManyKeys) {
     cache.put("key" + std::to_string(i), std::to_string(i));
   }
   std::size_t present = 0;
-  std::string value;
   for (int i = 0; i < 64; ++i) {
-    if (cache.get("key" + std::to_string(i), &value)) ++present;
+    if (cache.get("key" + std::to_string(i))) ++present;
   }
   // Per-shard LRU: uneven shard fill may evict a few, never most.
   EXPECT_GE(present, 48u);
@@ -347,6 +366,41 @@ TEST(Server, SolvesCachesAndServesByteIdenticalResults) {
 #endif
   std::remove(manifest_path.c_str());
 }
+
+#ifndef QBSS_OBS_OFF
+TEST(Server, CacheHitTicksZeroCopyCounter) {
+  const auto counter_value = [](const char* name) {
+    std::uint64_t value = 0;
+    for (const auto& [key, count] : obs::registry().snapshot()) {
+      if (key == name) value = count;
+    }
+    return value;
+  };
+  ServerConfig config;
+  config.workers = 1;
+  with_server(config, "zerocopy", [&](const std::string& path, Server&) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+
+    Request request;
+    request.algo = "bkpq";
+    request.instance = small_instance(77);
+
+    Client::Reply miss;
+    ASSERT_TRUE(client.call(request, &miss, &error)) << error;
+    ASSERT_EQ(miss.status, Status::kOk) << miss.payload;
+    const std::uint64_t before = counter_value("svc.hit.zero_copy");
+
+    Client::Reply hit;
+    ASSERT_TRUE(client.call(request, &hit, &error)) << error;
+    ASSERT_EQ(hit.status, Status::kOk);
+    EXPECT_TRUE(hit.cache_hit);
+    // The hit was answered straight from the pinned cache entry.
+    EXPECT_EQ(counter_value("svc.hit.zero_copy"), before + 1);
+  });
+}
+#endif
 
 TEST(Server, MalformedPayloadGetsErrorStatusNotDisconnect) {
   ServerConfig config;

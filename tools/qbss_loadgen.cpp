@@ -249,6 +249,7 @@ int usage() {
       "  --expect-shed     exit 1 if no request was shed\n"
       "  --expect-cache-hits  exit 1 if no response came from the cache\n"
       "  --expect-retries  exit 1 if no request needed a retry\n"
+      "  --expect-qps Q    exit 1 if achieved throughput < Q req/s\n"
       "  --shutdown        send a shutdown frame when done\n"
       "  --manifest FILE   write the loadgen manifest as JSON\n"
       "  --quiet           suppress the summary report\n");
@@ -355,12 +356,13 @@ int main(int argc, char** argv) {
   const obs::HistogramSummary latency =
       obs::registry().histogram("loadgen.latency_us").summary();
   const std::uint64_t sent = state.sent.load();
+  const double achieved_qps =
+      seconds > 0.0 ? static_cast<double>(sent) / seconds : 0.0;
   if (!opts.flag("quiet")) {
-    std::printf("loadgen: %llu requests in %.3fs (%.1f req/s), "
+    std::printf("loadgen: %llu requests in %.3fs (achieved %.1f req/s), "
                 "%zu connections, pool of %zu instances\n",
                 static_cast<unsigned long long>(sent), seconds,
-                seconds > 0.0 ? static_cast<double>(sent) / seconds : 0.0,
-                connections, state.pool.size());
+                achieved_qps, connections, state.pool.size());
     std::printf("  ok %llu (cache hits %llu), shed %llu, errors %llu, "
                 "transport failures %llu\n",
                 static_cast<unsigned long long>(state.ok.load()),
@@ -401,6 +403,8 @@ int main(int argc, char** argv) {
                                 std::to_string(retry.timeout_ms));
     manifest.extra.emplace_back("retry_budget",
                                 std::to_string(retry.retries));
+    manifest.extra.emplace_back("achieved_qps",
+                                std::to_string(achieved_qps));
     manifest.extra.emplace_back("retries", std::to_string(retried));
     manifest.extra.emplace_back("reconnects", std::to_string(reconnects));
     manifest.extra.emplace_back("exhausted", std::to_string(exhausted));
@@ -432,6 +436,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "qbss-loadgen: expected retries (is the fault plan "
                  "active?), got none\n");
+    failed = true;
+  }
+  if (const double expect_qps = opts.number("expect-qps", 0.0);
+      expect_qps > 0.0 && achieved_qps < expect_qps) {
+    std::fprintf(stderr,
+                 "qbss-loadgen: expected >= %.1f req/s, achieved %.1f\n",
+                 expect_qps, achieved_qps);
     failed = true;
   }
   return failed ? 1 : 0;
