@@ -172,4 +172,63 @@ void write_json_manifest(std::ostream& out, const obs::Manifest& manifest) {
   out << "}\n";
 }
 
+namespace {
+
+void write_counters_object(
+    std::ostream& out,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  out << "{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ",";
+    first = false;
+    out << Str{name} << ":" << value;
+  }
+  out << "}";
+}
+
+void write_histogram_object(std::ostream& out,
+                            const obs::HistogramSummary& h) {
+  out << "{\"count\":" << h.count << ",\"min\":" << Num{h.min} << ",\"max\":"
+      << Num{h.max} << ",\"p50\":" << Num{h.p50} << ",\"p90\":" << Num{h.p90}
+      << ",\"p99\":" << Num{h.p99} << "}";
+}
+
+}  // namespace
+
+void write_json_stats(std::ostream& out, const obs::StatsFrame& frame) {
+  const ScopedStreamState saved(out);
+  out << "{\"stats\":{\"uptime_seconds\":" << Num{frame.uptime_seconds}
+      << ",\"interval_ms\":" << Num{frame.interval_ms}
+      << ",\"window_seconds\":" << Num{frame.window.seconds}
+      << ",\"extra\":{";
+  bool first = true;
+  for (const auto& [key, value] : frame.extra) {
+    if (!first) out << ",";
+    first = false;
+    out << Str{key} << ":" << Str{value};
+  }
+  out << "},\"lifetime\":{\"counters\":";
+  write_counters_object(out, frame.lifetime.counters);
+  out << ",\"histograms\":{";
+  first = true;
+  for (const auto& hist : frame.lifetime.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << Str{hist.name} << ":";
+    write_histogram_object(out, hist.summary);
+  }
+  out << "}},\"window\":{\"counters\":";
+  write_counters_object(out, frame.window.counters);
+  out << ",\"histograms\":{";
+  first = true;
+  for (const auto& [name, summary] : frame.window.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << Str{name} << ":";
+    write_histogram_object(out, summary);
+  }
+  out << "}}}}\n";
+}
+
 }  // namespace qbss::io

@@ -9,6 +9,7 @@
 #include <iosfwd>
 
 #include "obs/manifest.hpp"
+#include "obs/snapshot.hpp"
 #include "qbss/run.hpp"
 
 namespace qbss::io {
@@ -37,5 +38,14 @@ void write_json_manifest(std::ostream& out, const obs::Manifest& manifest);
 /// google-benchmark BENCH_perf.json.
 void write_json_manifest_body(std::ostream& out,
                               const obs::Manifest& manifest);
+
+/// {"stats": {"uptime_seconds": .., "interval_ms": ..,
+///            "window_seconds": .., "extra": {..},
+///            "lifetime": {"counters": {..}, "histograms": {..}},
+///            "window":   {"counters": {..}, "histograms": {..}}}}
+/// The counters/histograms maps reuse the manifest grammar exactly, so
+/// obs-diff and any manifest-aware tooling parse both. This is the JSON
+/// payload of a wire-level stats reply (`qbss scrape --format json`).
+void write_json_stats(std::ostream& out, const obs::StatsFrame& frame);
 
 }  // namespace qbss::io

@@ -221,10 +221,56 @@ std::string string_field(const Json& manifest, std::string_view key) {
                                                                 : "";
 }
 
+/// Copies the "counters"/"histograms" tables of a manifest-grammar
+/// object (a manifest body, or a stats frame's lifetime/window block)
+/// into the diff-friendly maps.
+void fill_tables(const Json& object, std::map<std::string, double>* counters,
+                 std::map<std::string, HistogramSummary>* histograms) {
+  if (const Json* table = object.find("counters");
+      table != nullptr && table->kind == Json::Kind::kObject) {
+    for (const auto& [name, value] : table->fields) {
+      (*counters)[name] = value.number_or(0.0);
+    }
+  }
+  if (const Json* table = object.find("histograms");
+      table != nullptr && table->kind == Json::Kind::kObject) {
+    for (const auto& [name, value] : table->fields) {
+      if (value.kind != Json::Kind::kObject) continue;
+      HistogramSummary h;
+      if (const Json* v = value.find("count")) {
+        h.count = static_cast<std::uint64_t>(
+            std::max(0.0, v->number_or(0.0)));
+      }
+      if (const Json* v = value.find("min")) h.min = v->number_or(0.0);
+      if (const Json* v = value.find("max")) h.max = v->number_or(0.0);
+      if (const Json* v = value.find("p50")) h.p50 = v->number_or(0.0);
+      if (const Json* v = value.find("p90")) h.p90 = v->number_or(0.0);
+      if (const Json* v = value.find("p99")) h.p99 = v->number_or(0.0);
+      (*histograms)[name] = h;
+    }
+  }
+}
+
 std::optional<ManifestData> extract_manifest(const Json& document,
                                              std::string* error) {
   const Json* manifest = document.find("manifest");
   if (manifest == nullptr || manifest->kind != Json::Kind::kObject) {
+    // A live stats frame diffs through the same gate machinery: its
+    // lifetime block carries the manifest counters/histograms grammar.
+    if (const Json* stats = document.find("stats");
+        stats != nullptr && stats->kind == Json::Kind::kObject) {
+      const Json* lifetime = stats->find("lifetime");
+      if (lifetime == nullptr || lifetime->kind != Json::Kind::kObject) {
+        if (error != nullptr) *error = "stats frame has no lifetime block";
+        return std::nullopt;
+      }
+      ManifestData out;
+      if (const Json* v = stats->find("uptime_seconds")) {
+        out.wall_seconds = v->number_or(0.0);
+      }
+      fill_tables(*lifetime, &out.counters, &out.histograms);
+      return out;
+    }
     // Accept a bare manifest body (anything carrying a counters object).
     if (document.kind == Json::Kind::kObject &&
         document.find("counters") != nullptr) {
@@ -248,29 +294,43 @@ std::optional<ManifestData> extract_manifest(const Json& document,
   if (const Json* v = manifest->find("wall_seconds")) {
     out.wall_seconds = v->number_or(0.0);
   }
-  if (const Json* counters = manifest->find("counters");
-      counters != nullptr && counters->kind == Json::Kind::kObject) {
-    for (const auto& [name, value] : counters->fields) {
-      out.counters[name] = value.number_or(0.0);
+  fill_tables(*manifest, &out.counters, &out.histograms);
+  return out;
+}
+
+std::optional<StatsData> extract_stats(const Json& document,
+                                       std::string* error) {
+  const Json* stats = document.find("stats");
+  if (stats == nullptr || stats->kind != Json::Kind::kObject) {
+    if (error != nullptr) *error = "no \"stats\" object found";
+    return std::nullopt;
+  }
+  StatsData out;
+  if (const Json* v = stats->find("uptime_seconds")) {
+    out.uptime_seconds = v->number_or(0.0);
+  }
+  if (const Json* v = stats->find("interval_ms")) {
+    out.interval_ms = v->number_or(0.0);
+  }
+  if (const Json* v = stats->find("window_seconds")) {
+    out.window_seconds = v->number_or(0.0);
+  }
+  if (const Json* extra = stats->find("extra");
+      extra != nullptr && extra->kind == Json::Kind::kObject) {
+    for (const auto& [name, value] : extra->fields) {
+      if (value.kind == Json::Kind::kString) out.extra[name] = value.text;
     }
   }
-  if (const Json* histograms = manifest->find("histograms");
-      histograms != nullptr && histograms->kind == Json::Kind::kObject) {
-    for (const auto& [name, value] : histograms->fields) {
-      if (value.kind != Json::Kind::kObject) continue;
-      HistogramSummary h;
-      if (const Json* v = value.find("count")) {
-        h.count = static_cast<std::uint64_t>(
-            std::max(0.0, v->number_or(0.0)));
-      }
-      if (const Json* v = value.find("min")) h.min = v->number_or(0.0);
-      if (const Json* v = value.find("max")) h.max = v->number_or(0.0);
-      if (const Json* v = value.find("p50")) h.p50 = v->number_or(0.0);
-      if (const Json* v = value.find("p90")) h.p90 = v->number_or(0.0);
-      if (const Json* v = value.find("p99")) h.p99 = v->number_or(0.0);
-      out.histograms[name] = h;
-    }
+  if (const Json* lifetime = stats->find("lifetime");
+      lifetime != nullptr && lifetime->kind == Json::Kind::kObject) {
+    fill_tables(*lifetime, &out.lifetime.counters, &out.lifetime.histograms);
   }
+  out.lifetime.wall_seconds = out.uptime_seconds;
+  if (const Json* window = stats->find("window");
+      window != nullptr && window->kind == Json::Kind::kObject) {
+    fill_tables(*window, &out.window.counters, &out.window.histograms);
+  }
+  out.window.wall_seconds = out.window_seconds;
   return out;
 }
 
@@ -323,6 +383,14 @@ std::optional<ManifestData> parse_manifest_json(const std::string& text,
   const std::optional<Json> document = parser.parse(error);
   if (!document) return std::nullopt;
   return extract_manifest(*document, error);
+}
+
+std::optional<StatsData> parse_stats_json(const std::string& text,
+                                          std::string* error) {
+  JsonParser parser(text);
+  const std::optional<Json> document = parser.parse(error);
+  if (!document) return std::nullopt;
+  return extract_stats(*document, error);
 }
 
 std::optional<ManifestData> load_manifest_file(const std::string& path,

@@ -51,8 +51,30 @@ struct ManifestData {
     const std::string& text, std::string* error = nullptr);
 
 /// Reads and parses the file at `path` (sets ManifestData::source).
+/// Stats-frame JSON (the service's kStats reply) is accepted too: its
+/// "lifetime" block becomes the manifest, so two scraped frames can be
+/// diffed with the same gates as two manifests.
 [[nodiscard]] std::optional<ManifestData> load_manifest_file(
     const std::string& path, std::string* error = nullptr);
+
+/// One stats frame (io::write_json_stats / the service's kStats reply),
+/// parsed back into both of its blocks. The lifetime/window members
+/// reuse ManifestData as the counters+histograms carrier; their
+/// wall_seconds carry uptime_seconds and window_seconds respectively.
+struct StatsData {
+  std::string source;
+  double uptime_seconds = 0.0;
+  double interval_ms = 0.0;
+  double window_seconds = 0.0;
+  std::map<std::string, std::string> extra;  // workers, queue_depth, ...
+  ManifestData lifetime;
+  ManifestData window;
+};
+
+/// Parses a stats-frame JSON document. Nullopt + one-line *error when
+/// `text` is not a stats frame.
+[[nodiscard]] std::optional<StatsData> parse_stats_json(
+    const std::string& text, std::string* error = nullptr);
 
 /// Metric-wise median across candidates (each counter, histogram field,
 /// threads and wall_seconds independently). Provenance is taken from the

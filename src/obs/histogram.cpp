@@ -73,20 +73,27 @@ std::uint64_t Histogram::count() const noexcept {
   return total;
 }
 
-HistogramSummary Histogram::summary() const {
-  std::array<std::uint64_t, kBucketCount> counts;
+void Histogram::export_buckets(
+    std::uint64_t out[kBucketCount]) const noexcept {
+  for (int i = 0; i < kBucketCount; ++i) {
+    out[i] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+}
+
+HistogramSummary Histogram::summarize(
+    const std::uint64_t buckets[kBucketCount], double min_bound,
+    double max_bound) {
   std::uint64_t total = 0;
   for (int i = 0; i < kBucketCount; ++i) {
-    counts[static_cast<std::size_t>(i)] =
-        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
-    total += counts[static_cast<std::size_t>(i)];
+    total += buckets[i];
   }
   HistogramSummary out;
   out.count = total;
   if (total == 0) return out;
 
-  out.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
-  out.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  out.min = min_bound;
+  out.max = max_bound;
 
   const auto percentile = [&](double q) {
     // Rank statistic: the ceil(q * total)-th smallest sample (1-based).
@@ -95,7 +102,7 @@ HistogramSummary Histogram::summary() const {
     const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
     std::uint64_t cumulative = 0;
     for (int i = 0; i < kBucketCount; ++i) {
-      cumulative += counts[static_cast<std::size_t>(i)];
+      cumulative += buckets[i];
       if (cumulative >= target) {
         return std::clamp(bucket_midpoint(i), out.min, out.max);
       }
@@ -106,6 +113,15 @@ HistogramSummary Histogram::summary() const {
   out.p90 = percentile(0.90);
   out.p99 = percentile(0.99);
   return out;
+}
+
+HistogramSummary Histogram::summary() const {
+  std::array<std::uint64_t, kBucketCount> counts;
+  export_buckets(counts.data());
+  return summarize(
+      counts.data(),
+      std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed)),
+      std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed)));
 }
 
 void Histogram::merge_from(const Histogram& other) noexcept {

@@ -57,6 +57,25 @@ class Histogram {
   /// all zeros. Deterministic for a given recorded multiset.
   [[nodiscard]] HistogramSummary summary() const;
 
+  /// Copies the raw bucket counts (relaxed loads) into
+  /// `out[0..kBucketCount)`. Bucket counts are monotone, so two exports
+  /// taken at different times subtract bucket-wise into the exact
+  /// multiset recorded in between — the basis of snapshot deltas.
+  void export_buckets(std::uint64_t out[kBucketCount]) const noexcept;
+
+  /// Summary of an explicit bucket array: percentiles are bucket-midpoint
+  /// estimates clamped into [min_bound, max_bound]. Shared by summary()
+  /// (exact extrema) and the snapshot-delta path, where the array is a
+  /// bucket-wise difference and the bounds are midpoints of its lowest
+  /// and highest non-empty buckets.
+  [[nodiscard]] static HistogramSummary summarize(
+      const std::uint64_t buckets[kBucketCount], double min_bound,
+      double max_bound);
+
+  /// Center value of bucket `index` (0 for the non-positive bucket) —
+  /// the estimate every percentile and delta bound is built from.
+  [[nodiscard]] static double bucket_midpoint(int index) noexcept;
+
   /// Adds `other`'s samples into this histogram (bucket-wise, min/max
   /// folded). Associative and commutative up to summary().
   void merge_from(const Histogram& other) noexcept;
@@ -66,7 +85,6 @@ class Histogram {
 
  private:
   static int bucket_index(double value) noexcept;
-  static double bucket_midpoint(int index) noexcept;
   void fold_min(double value) noexcept;
   void fold_max(double value) noexcept;
 

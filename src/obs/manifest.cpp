@@ -1,6 +1,9 @@
 #include "obs/manifest.hpp"
 
+#include <utility>
+
 #include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 
 #ifndef QBSS_GIT_SHA
@@ -32,9 +35,16 @@ Manifest current_manifest() {
 #else
   m.obs_enabled = true;
 #endif
-  m.wall_seconds = process_uptime_seconds();
-  m.counters = registry().snapshot();
-  m.histograms = registry().histogram_snapshot();
+  // One capture() call (the shared stable-sorted iteration point) feeds
+  // both manifest tables, so the [obs] report, manifest JSON, and the
+  // stats exposition writers all see the same ordering.
+  Snapshot snap = capture_snapshot();
+  m.wall_seconds = snap.uptime_seconds;
+  m.counters = std::move(snap.counters);
+  m.histograms.reserve(snap.histograms.size());
+  for (auto& hist : snap.histograms) {
+    m.histograms.emplace_back(std::move(hist.name), hist.summary);
+  }
   return m;
 }
 

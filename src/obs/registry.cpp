@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/histogram.hpp"
+#include "obs/snapshot.hpp"
 
 namespace qbss::obs {
 
@@ -39,33 +40,50 @@ Histogram& Registry::histogram(std::string_view name) {
               .first->second;
 }
 
+void Registry::capture(Snapshot* out, bool with_buckets) const {
+  out->counters.clear();
+  out->histograms.clear();
+  const std::lock_guard<std::mutex> lock(mu_);
+  out->counters.reserve(counters_.size() + 2 * timers_.size());
+  for (const auto& [name, counter] : counters_) {
+    out->counters.emplace_back(name, counter->get());
+  }
+  for (const auto& [name, timer] : timers_) {
+    out->counters.emplace_back(name + ".calls", timer->calls().get());
+    out->counters.emplace_back(name + ".ns", timer->total_ns().get());
+  }
+  // Counter and timer names interleave; map order alone is not enough.
+  std::sort(out->counters.begin(), out->counters.end());
+  out->histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    SnapshotHistogram entry;
+    entry.name = name;
+    entry.summary = histogram->summary();
+    if (with_buckets) {
+      entry.buckets.resize(static_cast<std::size_t>(Histogram::kBucketCount));
+      histogram->export_buckets(entry.buckets.data());
+    }
+    out->histograms.push_back(std::move(entry));
+  }  // map iteration order is already name-sorted
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Registry::snapshot()
     const {
-  std::vector<std::pair<std::string, std::uint64_t>> out;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    out.reserve(counters_.size() + 2 * timers_.size());
-    for (const auto& [name, counter] : counters_) {
-      out.emplace_back(name, counter->get());
-    }
-    for (const auto& [name, timer] : timers_) {
-      out.emplace_back(name + ".calls", timer->calls().get());
-      out.emplace_back(name + ".ns", timer->total_ns().get());
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  Snapshot snap;
+  capture(&snap);
+  return std::move(snap.counters);
 }
 
 std::vector<std::pair<std::string, HistogramSummary>>
 Registry::histogram_snapshot() const {
+  Snapshot snap;
+  capture(&snap);
   std::vector<std::pair<std::string, HistogramSummary>> out;
-  const std::lock_guard<std::mutex> lock(mu_);
-  out.reserve(histograms_.size());
-  for (const auto& [name, histogram] : histograms_) {
-    out.emplace_back(name, histogram->summary());
+  out.reserve(snap.histograms.size());
+  for (auto& hist : snap.histograms) {
+    out.emplace_back(std::move(hist.name), hist.summary);
   }
-  return out;  // map iteration order is already name-sorted
+  return out;
 }
 
 void Registry::reset() {

@@ -23,6 +23,7 @@ namespace qbss::obs {
 
 class Histogram;          // histogram.hpp
 struct HistogramSummary;  // histogram.hpp
+struct Snapshot;          // snapshot.hpp
 
 /// One named monotonic counter. Stable address for the process lifetime
 /// once created (the Registry never erases entries).
@@ -78,13 +79,24 @@ class Registry {
   /// The histogram registered under `name` (created on first request).
   Histogram& histogram(std::string_view name);
 
+  /// THE single stable-sorted iteration point: fills `out` with every
+  /// counter (plus per-timer "<name>.calls"/"<name>.ns" expansions) and
+  /// every histogram, name-sorted, under one lock acquisition. All
+  /// consumers — the [obs] stderr report, the manifest writer, the
+  /// Prometheus/JSON exposition writers, snapshot()/histogram_snapshot()
+  /// below — flow through here. `with_buckets` additionally exports raw
+  /// histogram bucket arrays so two captures can be delta'd exactly.
+  void capture(Snapshot* out, bool with_buckets = false) const;
+
   /// Name-sorted snapshot of every counter plus, per timer, the derived
   /// "<name>.calls" and "<name>.ns" entries. Zero-valued entries are
   /// included — a registered counter that never fired is still signal.
+  /// (Convenience wrapper over capture().)
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
       const;
 
   /// Name-sorted {count, min, max, p50, p90, p99} of every histogram.
+  /// (Convenience wrapper over capture().)
   [[nodiscard]] std::vector<std::pair<std::string, HistogramSummary>>
   histogram_snapshot() const;
 

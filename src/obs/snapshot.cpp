@@ -1,0 +1,195 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace qbss::obs {
+namespace {
+
+/// Shortest-lossless-ish double rendering shared by every exposition
+/// line: max_digits10 significant digits, no forced fixed/scientific.
+std::string format_value(double value) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << value;
+  return out.str();
+}
+
+template <typename Pair>
+const Pair* find_by_name(const std::vector<Pair>& sorted,
+                         std::string_view name) noexcept {
+  const auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), name,
+      [](const Pair& entry, std::string_view key) { return entry.first < key; });
+  if (it == sorted.end() || it->first != name) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+std::uint64_t Snapshot::counter(std::string_view name) const noexcept {
+  const auto* entry = find_by_name(counters, name);
+  return entry == nullptr ? 0 : entry->second;
+}
+
+const SnapshotHistogram* Snapshot::histogram(
+    std::string_view name) const noexcept {
+  const auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const SnapshotHistogram& entry, std::string_view key) {
+        return entry.name < key;
+      });
+  if (it == histograms.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+Snapshot capture_snapshot(bool with_buckets) {
+  Snapshot out;
+  registry().capture(&out, with_buckets);
+  out.uptime_seconds = process_uptime_seconds();
+  return out;
+}
+
+std::uint64_t SnapshotDelta::counter(std::string_view name) const noexcept {
+  const auto* entry = find_by_name(counters, name);
+  return entry == nullptr ? 0 : entry->second;
+}
+
+double SnapshotDelta::rate(std::string_view name) const noexcept {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(counter(name)) / seconds;
+}
+
+const HistogramSummary* SnapshotDelta::histogram(
+    std::string_view name) const noexcept {
+  const auto* entry = find_by_name(histograms, name);
+  return entry == nullptr ? nullptr : &entry->second;
+}
+
+SnapshotDelta delta(const Snapshot& earlier, const Snapshot& later) {
+  SnapshotDelta out;
+  out.seconds = std::max(0.0, later.uptime_seconds - earlier.uptime_seconds);
+
+  out.counters.reserve(later.counters.size());
+  for (const auto& [name, value] : later.counters) {
+    const auto* before = find_by_name(earlier.counters, name);
+    const std::uint64_t base = before == nullptr ? 0 : before->second;
+    out.counters.emplace_back(name, value >= base ? value - base : 0);
+  }
+
+  out.histograms.reserve(later.histograms.size());
+  constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(Histogram::kBucketCount);
+  std::vector<std::uint64_t> diff(kBuckets);
+  for (const auto& hist : later.histograms) {
+    const SnapshotHistogram* before = earlier.histogram(hist.name);
+    const bool exact =
+        hist.buckets.size() == kBuckets &&
+        (before == nullptr || before->buckets.size() == kBuckets);
+    if (!exact) {
+      // No buckets to subtract: fall back to the later lifetime summary
+      // with only the sample count differenced.
+      HistogramSummary approx = hist.summary;
+      const std::uint64_t base = before == nullptr ? 0 : before->summary.count;
+      approx.count = approx.count >= base ? approx.count - base : 0;
+      out.histograms.emplace_back(hist.name, approx);
+      continue;
+    }
+    int first = -1;
+    int last = -1;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t base =
+          before == nullptr ? 0 : before->buckets[i];
+      diff[i] = hist.buckets[i] >= base ? hist.buckets[i] - base : 0;
+      if (diff[i] > 0) {
+        if (first < 0) first = static_cast<int>(i);
+        last = static_cast<int>(i);
+      }
+    }
+    HistogramSummary windowed;
+    if (first >= 0) {
+      // The window's true extrema are unrecorded; bound them by the
+      // midpoints of its extreme non-empty buckets, tightened by the
+      // lifetime extrema (the window is a subset of the lifetime).
+      const double lo =
+          std::max(Histogram::bucket_midpoint(first), hist.summary.min);
+      const double hi =
+          std::min(Histogram::bucket_midpoint(last), hist.summary.max);
+      windowed = Histogram::summarize(diff.data(), lo, std::max(lo, hi));
+    }
+    out.histograms.emplace_back(hist.name, windowed);
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "qbss_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+void write_summary_series(std::ostream& out, const std::string& metric,
+                          const HistogramSummary& s) {
+  out << "# TYPE " << metric << " summary\n";
+  out << metric << "{quantile=\"0.5\"} " << format_value(s.p50) << "\n";
+  out << metric << "{quantile=\"0.9\"} " << format_value(s.p90) << "\n";
+  out << metric << "{quantile=\"0.99\"} " << format_value(s.p99) << "\n";
+  out << metric << "_count " << s.count << "\n";
+  out << "# TYPE " << metric << "_min gauge\n";
+  out << metric << "_min " << format_value(s.min) << "\n";
+  out << "# TYPE " << metric << "_max gauge\n";
+  out << metric << "_max " << format_value(s.max) << "\n";
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const Snapshot& lifetime,
+                      const SnapshotDelta* window) {
+  for (const auto& [name, value] : lifetime.counters) {
+    const std::string metric = prometheus_name(name);
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << " " << value << "\n";
+  }
+  for (const auto& hist : lifetime.histograms) {
+    write_summary_series(out, prometheus_name(hist.name), hist.summary);
+  }
+  if (window == nullptr) return;
+  out << "# TYPE qbss_window_seconds gauge\n";
+  out << "qbss_window_seconds " << format_value(window->seconds) << "\n";
+  for (const auto& [name, value] : window->counters) {
+    if (value == 0) continue;  // only counters that moved in the window
+    const std::string metric = prometheus_name(name);
+    out << "# TYPE qbss_window_" << metric.substr(5) << "_rate gauge\n";
+    out << "qbss_window_" << metric.substr(5) << "_rate "
+        << format_value(window->seconds > 0.0
+                            ? static_cast<double>(value) / window->seconds
+                            : 0.0)
+        << "\n";
+  }
+  for (const auto& [name, summary] : window->histograms) {
+    if (summary.count == 0) continue;
+    write_summary_series(
+        out, "qbss_window_" + prometheus_name(name).substr(5), summary);
+  }
+}
+
+void write_prometheus(std::ostream& out, const StatsFrame& frame) {
+  out << "# TYPE qbss_uptime_seconds gauge\n";
+  out << "qbss_uptime_seconds " << format_value(frame.uptime_seconds) << "\n";
+  write_prometheus(out, frame.lifetime, &frame.window);
+}
+
+}  // namespace qbss::obs

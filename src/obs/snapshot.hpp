@@ -1,0 +1,128 @@
+// qbss::obs — point-in-time registry captures, deltas, and exposition.
+//
+// A Snapshot is a stable-sorted, self-contained copy of the Registry:
+// counter values (timers expanded to "<name>.calls"/"<name>.ns"),
+// histogram summaries, and — when captured with buckets — the raw
+// log-bucket arrays. Bucket counts are monotone, so subtracting two
+// bucket arrays yields the exact multiset recorded between the two
+// captures; SnapshotDelta turns that into windowed rates and windowed
+// percentiles (the "reqs/s over the last 4 s, p99 over the last 4 s"
+// numbers a live `qbss top` or a router health check needs).
+//
+// Both exposition writers live here too: Prometheus text format
+// (write_prometheus) and the JSON stats frame lives in io/json.hpp
+// (write_json_stats), reusing the manifest grammar. Everything in this
+// header operates on plain structs — hand-buildable in tests, no
+// registry singleton required — which is what makes the Prometheus
+// golden-file test deterministic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace qbss::obs {
+
+/// One histogram as captured: lifetime summary plus (optionally) the raw
+/// bucket counts backing it.
+struct SnapshotHistogram {
+  std::string name;
+  HistogramSummary summary;
+  /// Raw log-bucket counts (Histogram::kBucketCount entries) when the
+  /// snapshot was captured with_buckets; empty otherwise. Monotone, so
+  /// two captures subtract bucket-wise into an exact window multiset.
+  std::vector<std::uint64_t> buckets;
+};
+
+/// A stable-sorted point-in-time capture of the Registry. Plain data:
+/// comparable, serializable, hand-buildable in tests.
+struct Snapshot {
+  /// Process uptime when the capture was taken (same clock as the trace
+  /// exporter), so two snapshots delta into a wall-time window.
+  double uptime_seconds = 0.0;
+  /// Name-sorted counter values, timers expanded to .calls/.ns.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Name-sorted histograms.
+  std::vector<SnapshotHistogram> histograms;
+
+  /// Value of counter `name`, 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+  /// Pointer to histogram `name`, nullptr when absent.
+  [[nodiscard]] const SnapshotHistogram* histogram(
+      std::string_view name) const noexcept;
+};
+
+/// Captures the process-wide registry() into a Snapshot, stamped with the
+/// current uptime. `with_buckets` makes the capture delta-able.
+[[nodiscard]] Snapshot capture_snapshot(bool with_buckets = false);
+
+/// The change between two snapshots of the same process: clamped counter
+/// increments and windowed histogram summaries recovered from bucket-wise
+/// subtraction. Deterministic for a given pair of captures.
+struct SnapshotDelta {
+  /// Wall-time width of the window (later minus earlier uptime).
+  double seconds = 0.0;
+  /// Name-sorted counter increments (later - earlier, clamped at 0;
+  /// counters new in `later` contribute their full value).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Name-sorted windowed summaries. Exact percentile estimates when both
+  /// snapshots carry buckets (min/max are then midpoint bounds of the
+  /// window's extreme non-empty buckets); otherwise the later lifetime
+  /// summary with only the count differenced.
+  std::vector<std::pair<std::string, HistogramSummary>> histograms;
+
+  /// Increment of counter `name`, 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+  /// Increment of counter `name` per second of window, 0 when the window
+  /// is degenerate.
+  [[nodiscard]] double rate(std::string_view name) const noexcept;
+  /// Pointer to windowed histogram `name`, nullptr when absent.
+  [[nodiscard]] const HistogramSummary* histogram(
+      std::string_view name) const noexcept;
+};
+
+/// Computes later - earlier. The two snapshots must come from the same
+/// process (counters are matched by name; unmatched earlier entries are
+/// dropped, unmatched later entries count from zero).
+[[nodiscard]] SnapshotDelta delta(const Snapshot& earlier,
+                                  const Snapshot& later);
+
+/// One complete stats reply: lifetime totals plus the recent window the
+/// server computed from its snapshot ring. This is the payload behind
+/// the wire-level kStats verb, `qbss top`, and `qbss scrape`.
+struct StatsFrame {
+  double uptime_seconds = 0.0;
+  /// The server's snapshot cadence (--stats-interval-ms); 0 when the
+  /// ring is disabled and `window` spans the whole lifetime.
+  double interval_ms = 0.0;
+  Snapshot lifetime;
+  SnapshotDelta window;
+  /// Free-form instance facts (workers, queue depth, cache size, ...)
+  /// in the same string->string shape as manifest extras.
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// Prometheus metric name for a registry name: dots and other
+/// non-[a-zA-Z0-9_] characters become '_', and everything is prefixed
+/// "qbss_" ("svc.latency_us" -> "qbss_svc_latency_us").
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Prometheus text exposition (version 0.0.4) of a capture. Counters
+/// emit as `counter` type; histograms as `summary` quantile series plus
+/// `_count`, with `_min`/`_max` gauges. When `window` is non-null, the
+/// recent window is appended as `qbss_window_*` gauges: per-second rates
+/// for every counter that moved plus windowed quantiles. Output order is
+/// the snapshot's (name-sorted) — byte-stable for a given capture.
+void write_prometheus(std::ostream& out, const Snapshot& lifetime,
+                      const SnapshotDelta* window = nullptr);
+
+/// Convenience overload for a full stats frame: lifetime + window plus a
+/// `qbss_uptime_seconds` gauge.
+void write_prometheus(std::ostream& out, const StatsFrame& frame);
+
+}  // namespace qbss::obs

@@ -45,6 +45,7 @@ struct Event {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   int tid = 0;
+  std::uint64_t trace_id = 0;  // nonzero: per-request span (cat qbss.req)
 };
 
 struct TraceState {
@@ -80,9 +81,15 @@ struct TraceState {
       first = false;
       const double ts = static_cast<double>(e.start_ns - base) / 1000.0;
       const double dur = static_cast<double>(e.end_ns - e.start_ns) / 1000.0;
-      out << "{\"name\":\"" << json_escaped(e.name)
-          << "\",\"cat\":\"qbss\",\"ph\":\"X\",\"ts\":" << ts
-          << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":" << e.tid << "}";
+      out << "{\"name\":\"" << json_escaped(e.name) << "\",\"cat\":\""
+          << (e.trace_id != 0 ? "qbss.req" : "qbss")
+          << "\",\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << dur
+          << ",\"pid\":1,\"tid\":" << e.tid;
+      if (e.trace_id != 0) {
+        out << ",\"args\":{\"trace_id\":\"0x" << std::hex << e.trace_id
+            << std::dec << "\"}";
+      }
+      out << "}";
     }
     out << "]}\n";
     return static_cast<bool>(out);
@@ -136,7 +143,16 @@ void trace_emit(const std::string& name, std::uint64_t start_ns,
   if (!s.enabled.load(std::memory_order_relaxed)) return;
   const int tid = current_thread_id();
   const std::lock_guard<std::mutex> lock(s.mu);
-  s.events.push_back(Event{name, start_ns, end_ns, tid});
+  s.events.push_back(Event{name, start_ns, end_ns, tid, 0});
+}
+
+void trace_emit_request(const std::string& stage, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t trace_id) {
+  TraceState& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  const int tid = current_thread_id();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.events.push_back(Event{stage, start_ns, end_ns, tid, trace_id});
 }
 
 bool flush_trace() { return state().write_events(); }

@@ -39,6 +39,13 @@ void set_trace_path(std::string path);
 void trace_emit(const std::string& name, std::uint64_t start_ns,
                 std::uint64_t end_ns);
 
+/// Records one completed request-stage span tagged with a wire trace id.
+/// Events carry cat "qbss.req" and an args.trace_id field ("0x...") so a
+/// per-request chain (accept -> queue -> solve -> write) can be grouped
+/// and searched in Perfetto by the client-stamped id.
+void trace_emit_request(const std::string& stage, std::uint64_t start_ns,
+                        std::uint64_t end_ns, std::uint64_t trace_id);
+
 /// Writes all buffered events to the configured path as Chrome trace
 /// JSON. Idempotent — the buffer is retained, so a later flush (or the
 /// automatic one at exit) rewrites a superset. Returns false when

@@ -7,9 +7,23 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace qbss::svc {
+
+namespace {
+
+/// splitmix64 step — well-mixed 64-bit ids from a cheap counter.
+std::uint64_t splitmix64(std::uint64_t* state) {
+  *state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 Client::~Client() { close(); }
 
@@ -82,6 +96,26 @@ void Client::set_timeout_ms(double ms) {
   if (fd_ >= 0) set_socket_timeouts(fd_, timeout_ms_, timeout_ms_);
 }
 
+std::uint64_t Client::make_trace_id() {
+  if (pinned_trace_id_ != 0) {
+    const std::uint64_t id = pinned_trace_id_;
+    pinned_trace_id_ = 0;  // one-shot pin
+    return id;
+  }
+  if (trace_seed_ == 0) {
+    // Distinct streams per client object and process without any global
+    // coordination: mix the object address, pid, and the clock.
+    trace_seed_ =
+        reinterpret_cast<std::uintptr_t>(this) ^
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+  std::uint64_t id = splitmix64(&trace_seed_);
+  if (id == 0) id = 1;  // 0 means "untraced" on the wire
+  return id;
+}
+
 bool Client::call(const Request& request, Reply* reply, std::string* error) {
   if (fd_ < 0) {
     if (error) *error = "not connected";
@@ -89,6 +123,8 @@ bool Client::call(const Request& request, Reply* reply, std::string* error) {
   }
   FrameHeader header;
   header.request_id = next_id_++;
+  header.trace_id = make_trace_id();
+  last_trace_id_ = header.trace_id;
   if (!write_frame(fd_, header, serialize_request(request), error)) {
     return false;
   }
@@ -118,6 +154,7 @@ bool Client::call(const Request& request, Reply* reply, std::string* error) {
   }
   reply->status = response.status;
   reply->cache_hit = (response.flags & kFlagCacheHit) != 0;
+  reply->trace_id = response.trace_id;
   reply->payload = std::move(payload);
   return true;
 }
@@ -129,6 +166,19 @@ bool Client::ping(std::string* error) {
   if (!call(request, &reply, error)) return false;
   if (reply.status != Status::kOk) {
     if (error) *error = "ping rejected";
+    return false;
+  }
+  return true;
+}
+
+bool Client::stats(const std::string& format, Reply* reply,
+                   std::string* error) {
+  Request request;
+  request.verb = Verb::kStats;
+  request.stats_format = format;
+  if (!call(request, reply, error)) return false;
+  if (reply->status != Status::kOk) {
+    if (error) *error = "stats rejected: " + reply->payload;
     return false;
   }
   return true;

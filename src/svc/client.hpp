@@ -44,26 +44,49 @@ class Client {
   struct Reply {
     Status status = Status::kError;
     bool cache_hit = false;
+    std::uint64_t trace_id = 0;  ///< echoed from the response header
     std::string payload;
   };
 
   /// Sends `request` and blocks for its response. False + *error on a
   /// transport failure (a kShed/kError *reply* is still a true return).
+  /// Every call stamps a fresh nonzero trace id into the request header
+  /// (unless pinned by set_next_trace_id); the server echoes it and may
+  /// record a sampled span chain under it.
   [[nodiscard]] bool call(const Request& request, Reply* reply,
                           std::string* error);
 
   /// Round-trips a ping frame.
   [[nodiscard]] bool ping(std::string* error);
 
+  /// Fetches a stats frame ("json" or "prometheus" exposition) into
+  /// reply->payload.
+  [[nodiscard]] bool stats(const std::string& format, Reply* reply,
+                           std::string* error);
+
   /// Asks the server to shut down (best effort; waits for the ack).
   [[nodiscard]] bool shutdown_server(std::string* error);
+
+  /// Pins the trace id stamped into the *next* call (tests use this to
+  /// assert end-to-end propagation); afterwards ids auto-generate again.
+  void set_next_trace_id(std::uint64_t id) noexcept { pinned_trace_id_ = id; }
+
+  /// The trace id stamped into the most recent call's request header.
+  [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
+    return last_trace_id_;
+  }
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
   void close();
 
  private:
+  [[nodiscard]] std::uint64_t make_trace_id();
+
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  std::uint64_t trace_seed_ = 0;
+  std::uint64_t pinned_trace_id_ = 0;
+  std::uint64_t last_trace_id_ = 0;
   double timeout_ms_ = 0.0;
 };
 

@@ -163,14 +163,16 @@ void encode_header(const FrameHeader& header,
   put_u32(out + 8, header.flags);
   put_u32(out + 12, header.payload_len);
   put_u64(out + 16, header.request_id);
+  put_u64(out + 24, header.trace_id);
 }
 
 bool decode_header(const unsigned char in[kHeaderSize], FrameHeader* header,
                    std::string* error) {
   if (const std::uint32_t magic = get_u32(in); magic != kMagic) {
-    // "QSS1" little-endian keeps the version in the high byte: a right
+    // "QSS2" little-endian keeps the version in the high byte: a right
     // prefix with a wrong version byte is a peer speaking a different
-    // protocol revision, which deserves a distinct diagnosis.
+    // protocol revision (e.g. a QSS1 client predating the trace-id
+    // field), which deserves a distinct diagnosis.
     if (error) {
       *error = (magic & 0x00ffffffu) == (kMagic & 0x00ffffffu)
                    ? "frame version mismatch"
@@ -187,6 +189,7 @@ bool decode_header(const unsigned char in[kHeaderSize], FrameHeader* header,
   header->flags = get_u32(in + 8);
   header->payload_len = get_u32(in + 12);
   header->request_id = get_u64(in + 16);
+  header->trace_id = get_u64(in + 24);
   if (header->payload_len > kMaxPayload) {
     if (error) *error = "frame payload exceeds limit";
     return false;
@@ -276,6 +279,11 @@ std::string serialize_request(const Request& request) {
       return "qbss-svc/1 ping\n";
     case Verb::kShutdown:
       return "qbss-svc/1 shutdown\n";
+    case Verb::kStats:
+      if (request.stats_format != "json") {
+        return "qbss-svc/1 stats\nformat: " + request.stats_format + "\n";
+      }
+      return "qbss-svc/1 stats\n";
     case Verb::kSolve:
       break;
   }
@@ -312,6 +320,28 @@ bool parse_request(const std::string& payload, Request* out,
   }
   if (line == "qbss-svc/1 shutdown") {
     req.verb = Verb::kShutdown;
+    *out = std::move(req);
+    return true;
+  }
+  if (line == "qbss-svc/1 stats") {
+    req.verb = Verb::kStats;
+    while (std::getline(in, line)) {
+      std::string key;
+      std::string value;
+      if (!split_field(line, &key, &value)) {
+        *error = "malformed stats field: " + line;
+        return false;
+      }
+      if (key != "format") {
+        *error = "unknown stats field: " + key;
+        return false;
+      }
+      if (value != "json" && value != "prometheus") {
+        *error = "stats format must be json or prometheus";
+        return false;
+      }
+      req.stats_format = value;
+    }
     *out = std::move(req);
     return true;
   }

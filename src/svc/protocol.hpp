@@ -1,13 +1,19 @@
 // qbss::svc wire protocol — length-prefixed frames carrying text
 // request/response payloads over a stream socket (Unix-domain or TCP).
 //
-// Frame layout (24-byte little-endian header, then `payload_len` bytes):
+// Frame layout (32-byte little-endian header, then `payload_len` bytes):
 //
-//     u32 magic        "QSS1" (0x31535351)
+//     u32 magic        "QSS2" (0x32535351)
 //     u32 status       request: 0; response: 0 ok / 1 shed / 2 error
 //     u32 flags        response bit 0: served from the result cache
 //     u32 payload_len  <= 64 MiB
 //     u64 request_id   echoed verbatim in the response
+//     u64 trace_id     client-stamped; echoed verbatim in the response
+//
+// The trace id keys the server's sampled per-request span chains (see
+// docs/SERVICE.md "Wire tracing"); 0 means "untraced". Bumping the
+// version byte from QSS1 added it — an old peer gets the distinct
+// version-mismatch error, not a silent misparse.
 //
 // The cache-hit bit lives in the *header* so a cached response's payload
 // stays byte-identical to the uncached one — the loadgen asserts exactly
@@ -26,9 +32,9 @@
 
 namespace qbss::svc {
 
-inline constexpr std::uint32_t kMagic = 0x31535351;  // "QSS1" on the wire
+inline constexpr std::uint32_t kMagic = 0x32535351;  // "QSS2" on the wire
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;
-inline constexpr std::size_t kHeaderSize = 24;
+inline constexpr std::size_t kHeaderSize = 32;
 inline constexpr std::uint32_t kFlagCacheHit = 1u;
 
 /// Response disposition. Requests always carry kOk.
@@ -44,9 +50,10 @@ struct FrameHeader {
   std::uint32_t flags = 0;
   std::uint32_t payload_len = 0;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;  ///< 0 = untraced
 };
 
-/// Serializes `header` into the 24-byte little-endian wire form.
+/// Serializes `header` into the 32-byte little-endian wire form.
 void encode_header(const FrameHeader& header,
                    unsigned char out[kHeaderSize]);
 
@@ -92,11 +99,12 @@ enum class ReadResult {
 void set_socket_timeouts(int fd, double recv_ms, double send_ms);
 
 /// What a request asks the server to do.
-enum class Verb { kSolve, kPing, kShutdown };
+enum class Verb { kSolve, kPing, kShutdown, kStats };
 
 /// One decoded request. `deadline_ms` bounds the time a solve may sit in
 /// the admission queue (0 = unbounded); `want_schedule` asks for the
 /// expanded classical instance and schedule dump in the response.
+/// `stats_format` applies to kStats only: "json" or "prometheus".
 struct Request {
   Verb verb = Verb::kSolve;
   std::string algo = "bkpq";
@@ -104,6 +112,7 @@ struct Request {
   int machines = 4;
   bool want_schedule = false;
   double deadline_ms = 0.0;
+  std::string stats_format = "json";
   core::QInstance instance;
 };
 

@@ -10,12 +10,14 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "faults/faults.hpp"
 #include "io/json.hpp"
 #include "obs/histogram.hpp"
 #include "obs/manifest.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace qbss::svc {
 
@@ -134,6 +136,9 @@ bool Server::start(std::string* error) {
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (config_.stats_interval_ms > 0.0) {
+    stats_thread_ = std::thread([this] { stats_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
 }
@@ -148,10 +153,12 @@ void Server::shutdown() {
                              std::memory_order_relaxed);
   }
   queue_cv_.notify_all();
+  stats_cv_.notify_all();
 }
 
 void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (stats_thread_.joinable()) stats_thread_.join();
 
   // Unblock every reader stuck in recv; fds stay open (and numbers
   // un-reused) until the last Connection reference drops.
@@ -264,7 +271,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       // a typed error frame saying why before the close — never a
       // silent drop.
       QBSS_COUNT("svc.badframe");
-      respond(Waiter{conn, 0, Clock::now(), 0.0}, Status::kError, 0,
+      respond(Waiter{conn, 0, Clock::now(), 0.0, {}}, Status::kError, 0,
               "message: " + error + "\n");
       break;
     }
@@ -278,7 +285,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       break;
     }
     QBSS_COUNT("svc.requests");
-    handle_request(conn, header.request_id, payload);
+    handle_request(conn, header, payload);
     if (stopping_.load(std::memory_order_acquire)) break;
   }
   // Pending waiters still hold Connection references, so responses in
@@ -288,39 +295,70 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
 }
 
 void Server::handle_request(const std::shared_ptr<Connection>& conn,
-                            std::uint64_t request_id,
+                            const FrameHeader& frame,
                             const std::string& payload) {
   QBSS_SPAN("svc.request");
   const Clock::time_point admitted = Clock::now();
+
+  // Wire-trace sampling decision: the client stamped a uniform random
+  // id, so divisibility picks ~1/trace_sample of traffic. Every response
+  // echoes the id regardless; only sampled requests pay for stage
+  // timestamps and span emission.
+  WireTrace trace;
+  trace.id = frame.trace_id;
+  trace.sampled = frame.trace_id != 0 && config_.trace_sample != 0 &&
+                  frame.trace_id % config_.trace_sample == 0 &&
+                  obs::trace_enabled();
+  if (trace.sampled) {
+    QBSS_COUNT("svc.trace.sampled");
+    trace.read_ns = obs::now_ns();
+  }
+
+  Waiter self{conn, frame.request_id, admitted, 0.0, trace};
+
   Request request;
   std::string error;
   if (!parse_request(payload, &request, &error)) {
     QBSS_COUNT("svc.errors");
-    respond(Waiter{conn, request_id, admitted, 0.0}, Status::kError, 0,
-            "message: " + error + "\n");
+    respond(self, Status::kError, 0, "message: " + error + "\n");
     return;
   }
+  if (trace.sampled) trace.parsed_ns = obs::now_ns();
+  self.trace = trace;
 
   if (request.verb == Verb::kPing) {
     QBSS_COUNT("svc.pings");
-    respond(Waiter{conn, request_id, admitted, 0.0}, Status::kOk, 0, "pong\n");
+    respond(self, Status::kOk, 0, "pong\n");
     return;
   }
   if (request.verb == Verb::kShutdown) {
-    respond(Waiter{conn, request_id, admitted, 0.0}, Status::kOk, 0, "bye\n");
+    respond(self, Status::kOk, 0, "bye\n");
     shutdown();
+    return;
+  }
+  if (request.verb == Verb::kStats) {
+    // Answered inline on the reader thread, bypassing admission: the
+    // whole point of live introspection is that it still works when the
+    // queue is full or the server is degraded.
+    QBSS_COUNT("svc.stats.requests");
+    respond(self, Status::kOk, 0, build_stats_payload(request.stats_format));
     return;
   }
 
   const std::string key = cache_key(request);
-  const Waiter self{conn, request_id, admitted, request.deadline_ms};
+  self.deadline_ms = request.deadline_ms;
 
   // Degradation ladder, rung 1: inside the post-overload window the
   // cache still answers (cheap, no queue), but misses are shed fast
   // instead of competing for the queue that just overflowed.
   const bool degraded =
       now_ns() < degraded_until_ns_.load(std::memory_order_relaxed);
-  if (const PayloadPtr hit = cache_.get(key)) {
+  const PayloadPtr hit = cache_.get(key);
+  if (trace.sampled) {
+    trace.cache_ns = obs::now_ns();
+    self.trace = trace;
+  }
+  if (hit) {
     // Zero-copy hit: `hit` pins the shard's own bytes (a refcount bump,
     // no payload copy or allocation) and the scatter/gather write sends
     // them straight to the socket. The pin keeps the bytes alive even if
@@ -336,6 +374,12 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  if (trace.sampled) {
+    // The queue-wait span starts here: registration/coalescing below
+    // copies `self` into the in-flight waiter list.
+    trace.queued_ns = obs::now_ns();
+    self.trace = trace;
+  }
   auto inflight = std::make_shared<Inflight>();
   {
     const std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -402,6 +446,75 @@ void Server::worker_loop() {
   }
 }
 
+void Server::stats_loop() {
+  const auto interval =
+      std::chrono::duration<double, std::milli>(config_.stats_interval_ms);
+  const std::size_t cap = std::max<std::size_t>(config_.stats_ring, 1);
+  // Baseline capture at startup: the first stats reply already has a
+  // real window instead of falling back to lifetime averages.
+  {
+    obs::Snapshot snap = obs::capture_snapshot(true);
+    const std::lock_guard<std::mutex> rlock(ring_mu_);
+    ring_.push_back(std::move(snap));
+  }
+  QBSS_COUNT("svc.stats.snapshots");
+  std::unique_lock<std::mutex> lock(stats_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    stats_cv_.wait_for(lock, interval, [this] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire)) break;
+    obs::Snapshot snap = obs::capture_snapshot(true);
+    QBSS_COUNT("svc.stats.snapshots");
+    const std::lock_guard<std::mutex> rlock(ring_mu_);
+    ring_.push_back(std::move(snap));
+    while (ring_.size() > cap) ring_.pop_front();
+  }
+}
+
+std::string Server::build_stats_payload(const std::string& format) {
+  obs::StatsFrame frame;
+  frame.lifetime = obs::capture_snapshot(true);
+  frame.uptime_seconds = frame.lifetime.uptime_seconds;
+  frame.interval_ms = config_.stats_interval_ms;
+  bool have_window = false;
+  {
+    const std::lock_guard<std::mutex> lock(ring_mu_);
+    if (!ring_.empty()) {
+      frame.window = obs::delta(ring_.front(), frame.lifetime);
+      have_window = true;
+    }
+  }
+  if (!have_window) {
+    // Ring disabled (--stats-interval-ms 0): the "window" degrades to
+    // the whole lifetime, i.e. lifetime-average rates.
+    frame.window = obs::delta(obs::Snapshot{}, frame.lifetime);
+  }
+  std::size_t queued = 0;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    queued = queue_.size();
+  }
+  frame.extra.emplace_back("workers", std::to_string(config_.workers));
+  frame.extra.emplace_back("queue_depth", std::to_string(config_.queue_depth));
+  frame.extra.emplace_back("queued_now", std::to_string(queued));
+  frame.extra.emplace_back("responses", std::to_string(responses()));
+  frame.extra.emplace_back("cache_size", std::to_string(cache_.size()));
+  frame.extra.emplace_back("cache_evictions",
+                           std::to_string(cache_.evictions()));
+  frame.extra.emplace_back(
+      "degraded",
+      now_ns() < degraded_until_ns_.load(std::memory_order_relaxed) ? "1"
+                                                                    : "0");
+  std::ostringstream out;
+  if (format == "prometheus") {
+    obs::write_prometheus(out, frame);
+  } else {
+    io::write_json_stats(out, frame);
+  }
+  return out.str();
+}
+
 void Server::enter_degraded() {
   const std::int64_t now = now_ns();
   const std::int64_t until = now + ms_to_ns(config_.degraded_window_ms);
@@ -459,7 +572,8 @@ bool Server::prepare_task(Task& task) {
   return !skip;
 }
 
-void Server::finish_task(Task& task, SolveItem& item) {
+void Server::finish_task(Task& task, SolveItem& item, std::uint64_t picked_ns,
+                         std::uint64_t solved_ns) {
   PayloadPtr pinned;
   if (item.ok) {
     // Publish before retiring the in-flight entry so an identical
@@ -478,7 +592,11 @@ void Server::finish_task(Task& task, SolveItem& item) {
     waiters = std::move(task.inflight->waiters);
     inflight_.erase(task.key);
   }
-  for (const Waiter& w : waiters) {
+  for (Waiter& w : waiters) {
+    if (w.trace.sampled) {
+      w.trace.picked_ns = picked_ns;
+      w.trace.solved_ns = solved_ns;
+    }
     respond(w, item.ok ? Status::kOk : Status::kError, 0,
             item.ok ? std::string_view(*pinned) : std::string_view(item.payload));
   }
@@ -487,6 +605,7 @@ void Server::finish_task(Task& task, SolveItem& item) {
 void Server::process_batch(std::vector<Task>& batch) {
   // Phase 1: per-task admission bookkeeping. Collect the tasks that
   // still have live waiters.
+  const std::uint64_t picked_ns = obs::now_ns();
   std::vector<std::size_t> solvable;
   solvable.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -509,10 +628,11 @@ void Server::process_batch(std::vector<Task>& batch) {
     items[k].request = &batch[solvable[k]].request;
   }
   solve_request_batch(std::span<SolveItem>(items));
+  const std::uint64_t solved_ns = obs::now_ns();
 
   // Phase 3: publish + respond per task.
   for (std::size_t k = 0; k < solvable.size(); ++k) {
-    finish_task(batch[solvable[k]], items[k]);
+    finish_task(batch[solvable[k]], items[k], picked_ns, solved_ns);
   }
 }
 
@@ -524,6 +644,7 @@ void Server::respond(const Waiter& waiter, Status status, std::uint32_t flags,
   header.status = status;
   header.flags = flags;
   header.request_id = waiter.request_id;
+  header.trace_id = waiter.trace.id;
   std::string error;
   const faults::Action fault = QBSS_FAULT(faults::Site::kWrite);
   if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
@@ -545,10 +666,28 @@ void Server::respond(const Waiter& waiter, Status status, std::uint32_t flags,
   // but a peer that stopped draining responses is disconnected so it
   // cannot wedge later responses behind its full socket buffer.
   bool timed_out = false;
+  const std::uint64_t write_start = waiter.trace.sampled ? obs::now_ns() : 0;
   if (!write_frame(waiter.conn->fd, header, payload, &error, &timed_out) &&
       timed_out) {
     QBSS_COUNT("svc.timeout.write");
     ::shutdown(waiter.conn->fd, SHUT_RDWR);
+  }
+  if (waiter.trace.sampled) {
+    // The whole sampled span chain leaves here, once the response is on
+    // the wire, so a request whose connection died mid-flight never
+    // emits a half-chain. Stages that never happened (cache hit → no
+    // queue/solve) have zero stamps and are skipped.
+    const std::uint64_t write_end = obs::now_ns();
+    const WireTrace& t = waiter.trace;
+    const auto emit = [&t](const char* stage, std::uint64_t a,
+                           std::uint64_t b) {
+      if (a != 0 && b != 0 && b >= a) obs::trace_emit_request(stage, a, b, t.id);
+    };
+    emit("req.accept", t.read_ns, t.parsed_ns);
+    emit("req.cache", t.parsed_ns, t.cache_ns);
+    emit("req.queue", t.queued_ns, t.picked_ns);
+    emit("req.solve", t.picked_ns, t.solved_ns);
+    emit("req.write", write_start, write_end);
   }
 }
 

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/snapshot.hpp"
 #include "svc/cache.hpp"
 #include "svc/protocol.hpp"
 
@@ -61,6 +62,18 @@ struct ServerConfig {
   /// Overload degradation window: after a queue-full shed, cache misses
   /// are fast-shed (cache hits still served) for this long. 0 = off.
   double degraded_window_ms = 0.0;
+  /// Cadence of the periodic registry snapshots backing the stats
+  /// verb's "recent window" block. 0 = no ring; a stats reply then
+  /// reports lifetime-average rates instead of recent ones.
+  double stats_interval_ms = 1000.0;
+  /// Snapshots retained in the ring: the window spans up to
+  /// stats_ring * stats_interval_ms of recent history.
+  std::size_t stats_ring = 8;
+  /// Wire-trace sampling: requests whose client-stamped trace id is
+  /// nonzero and divisible by this get a per-request span chain in the
+  /// Chrome trace (ids are uniform, so ~1/N of traffic). 1 = every
+  /// request, 0 = never. No effect unless tracing is enabled.
+  std::uint64_t trace_sample = 16;
   std::string manifest_path; ///< manifest epilogue at shutdown ("" = none)
   /// Extra manifest key/values (the CLI records its flags here).
   std::vector<std::pair<std::string, std::string>> manifest_extra;
@@ -114,12 +127,27 @@ class Server {
     std::string read_buf;
   };
 
+  /// Per-request wire-trace state: the client-stamped id (echoed in
+  /// every response header) plus, when this request was sampled, the
+  /// stage timestamps the span chain is cut from.
+  struct WireTrace {
+    std::uint64_t id = 0;
+    bool sampled = false;
+    std::uint64_t read_ns = 0;    ///< frame fully read
+    std::uint64_t parsed_ns = 0;  ///< request parsed
+    std::uint64_t cache_ns = 0;   ///< cache lookup finished
+    std::uint64_t queued_ns = 0;  ///< admitted into the queue
+    std::uint64_t picked_ns = 0;  ///< drained by a worker
+    std::uint64_t solved_ns = 0;  ///< solve finished
+  };
+
   /// A response destination for one admitted or coalesced request.
   struct Waiter {
     std::shared_ptr<Connection> conn;
     std::uint64_t request_id = 0;
     std::chrono::steady_clock::time_point admitted;
     double deadline_ms = 0.0;
+    WireTrace trace;
   };
 
   /// An in-flight computation; identical requests append themselves as
@@ -138,8 +166,15 @@ class Server {
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
+  /// Periodically pushes registry captures into the snapshot ring.
+  void stats_loop();
   void handle_request(const std::shared_ptr<Connection>& conn,
-                      std::uint64_t request_id, const std::string& payload);
+                      const FrameHeader& frame, const std::string& payload);
+  /// Renders one stats reply ("json" or "prometheus"): a fresh capture
+  /// as the lifetime block, delta'd against the oldest ring snapshot as
+  /// the window block. Runs on the reader thread — introspection works
+  /// even when the admission queue is full.
+  [[nodiscard]] std::string build_stats_payload(const std::string& format);
   /// Drains one admission batch: shed bookkeeping per task, then a
   /// single solve_request_batch call over the survivors, then publish
   /// and respond per task.
@@ -147,8 +182,11 @@ class Server {
   /// Pre-solve bookkeeping for one task (shutdown-drain shed, expired
   /// waiters). False when the task needs no solve.
   [[nodiscard]] bool prepare_task(Task& task);
-  /// Publishes one solved task and answers its waiters.
-  void finish_task(Task& task, SolveItem& item);
+  /// Publishes one solved task and answers its waiters. `picked_ns` /
+  /// `solved_ns` stamp the batch's queue-exit and solve-done times into
+  /// sampled waiters' trace chains.
+  void finish_task(Task& task, SolveItem& item, std::uint64_t picked_ns,
+                   std::uint64_t solved_ns);
   void respond(const Waiter& waiter, Status status, std::uint32_t flags,
                std::string_view payload);
   void enter_degraded();
@@ -168,7 +206,15 @@ class Server {
   std::atomic<std::int64_t> drain_deadline_ns_{0};
 
   std::thread accept_thread_;
+  std::thread stats_thread_;
   std::vector<std::thread> workers_;
+
+  /// Snapshot ring: stats_loop appends, stats replies delta against the
+  /// front. Guarded by its own mutex (capture happens outside it).
+  std::mutex ring_mu_;
+  std::deque<obs::Snapshot> ring_;
+  std::mutex stats_mu_;  ///< pairs with stats_cv_ for interruptible sleep
+  std::condition_variable stats_cv_;
 
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;

@@ -1,0 +1,264 @@
+// Tests for qbss::obs snapshots: registry capture through the single
+// stable-sorted iteration point, delta semantics (clamped counter
+// increments, exact windowed percentiles from bucket subtraction, the
+// no-buckets fallback), determinism of capture/delta across QBSS_THREADS
+// settings, the Prometheus exposition against a golden document, and the
+// JSON stats frame round-tripping through obs::parse_stats_json.
+#include "obs/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "io/json.hpp"
+#include "obs/diff.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+
+namespace qbss::obs {
+namespace {
+
+TEST(Snapshot, CaptureIsStableSortedAndFindable) {
+  QBSS_COUNT_ADD("snapcap.zulu", 3);
+  QBSS_COUNT_ADD("snapcap.alpha", 7);
+  QBSS_HIST("snapcap.hist", 2.5);
+
+  const Snapshot snap = capture_snapshot(true);
+  EXPECT_GT(snap.uptime_seconds, 0.0);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  for (std::size_t i = 1; i < snap.histograms.size(); ++i) {
+    EXPECT_LT(snap.histograms[i - 1].name, snap.histograms[i].name);
+  }
+#ifndef QBSS_OBS_OFF
+  EXPECT_EQ(snap.counter("snapcap.zulu"), 3u);
+  EXPECT_EQ(snap.counter("snapcap.alpha"), 7u);
+  const SnapshotHistogram* hist = snap.histogram("snapcap.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->summary.count, 1u);
+  EXPECT_EQ(hist->buckets.size(),
+            static_cast<std::size_t>(Histogram::kBucketCount));
+#endif
+  EXPECT_EQ(snap.counter("snapcap.never-registered"), 0u);
+  EXPECT_EQ(snap.histogram("snapcap.never-registered"), nullptr);
+}
+
+#ifndef QBSS_OBS_OFF
+TEST(Snapshot, DeltaRecoversWindowCountsAndPercentiles) {
+  const Snapshot before = capture_snapshot(true);
+  QBSS_COUNT_ADD("snapdelta.c", 5);
+  for (int i = 1; i <= 100; ++i) {
+    QBSS_HIST("snapdelta.h", static_cast<double>(i));
+  }
+  const Snapshot after = capture_snapshot(true);
+
+  const SnapshotDelta d = delta(before, after);
+  EXPECT_GE(d.seconds, 0.0);
+  EXPECT_EQ(d.counter("snapdelta.c"), 5u);
+  EXPECT_EQ(d.counter("snapdelta.never"), 0u);
+
+  const HistogramSummary* w = d.histogram("snapdelta.h");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->count, 100u);
+  // Log buckets carry ~1/16 relative width; the window percentiles must
+  // land near the recorded multiset's.
+  EXPECT_NEAR(w->p50, 50.0, 50.0 / 8.0);
+  EXPECT_NEAR(w->p99, 99.0, 99.0 / 8.0);
+  EXPECT_LE(w->min, 2.0);
+  EXPECT_GE(w->max, 90.0);
+
+  // Deltaing the same capture against itself is empty.
+  const SnapshotDelta none = delta(after, after);
+  EXPECT_EQ(none.counter("snapdelta.c"), 0u);
+  const HistogramSummary* empty = none.histogram("snapdelta.h");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->count, 0u);
+  EXPECT_EQ(empty->p99, 0.0);
+}
+
+TEST(Snapshot, DeltaIsDeterministicAcrossThreadCounts) {
+  const auto record = [] {
+    common::parallel_for(256, [](std::size_t i) {
+      QBSS_COUNT("snapthreads.c");
+      QBSS_HIST("snapthreads.h", static_cast<double>(i % 17 + 1));
+    });
+  };
+
+  common::set_worker_count(1);
+  const Snapshot s0 = capture_snapshot(true);
+  record();
+  const Snapshot s1 = capture_snapshot(true);
+
+  common::set_worker_count(8);
+  record();
+  const Snapshot s2 = capture_snapshot(true);
+  common::set_worker_count(0);
+
+  const SnapshotDelta serial = delta(s0, s1);
+  const SnapshotDelta threaded = delta(s1, s2);
+  EXPECT_EQ(serial.counter("snapthreads.c"), 256u);
+  EXPECT_EQ(threaded.counter("snapthreads.c"), 256u);
+
+  // The recorded multiset is identical, so the windowed summaries must
+  // be bit-equal regardless of the thread interleaving.
+  const HistogramSummary* a = serial.histogram("snapthreads.h");
+  const HistogramSummary* b = threaded.histogram("snapthreads.h");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count, b->count);
+  EXPECT_EQ(a->min, b->min);
+  EXPECT_EQ(a->max, b->max);
+  EXPECT_EQ(a->p50, b->p50);
+  EXPECT_EQ(a->p90, b->p90);
+  EXPECT_EQ(a->p99, b->p99);
+}
+#endif  // QBSS_OBS_OFF
+
+TEST(Snapshot, HandBuiltDeltaFollowsMatchingRules) {
+  Snapshot earlier;
+  earlier.uptime_seconds = 1.0;
+  earlier.counters = {{"a", 5}, {"gone", 9}, {"wrapped", 100}};
+  Snapshot later;
+  later.uptime_seconds = 3.5;
+  later.counters = {{"a", 12}, {"new", 4}, {"wrapped", 40}};
+
+  const SnapshotDelta d = delta(earlier, later);
+  EXPECT_DOUBLE_EQ(d.seconds, 2.5);
+  EXPECT_EQ(d.counter("a"), 7u);
+  EXPECT_EQ(d.counter("new"), 4u);   // new counters count from zero
+  EXPECT_EQ(d.counter("gone"), 0u);  // earlier-only counters are dropped
+  EXPECT_EQ(d.counter("wrapped"), 0u);  // decreases clamp at zero
+  EXPECT_DOUBLE_EQ(d.rate("a"), 7.0 / 2.5);
+
+  // Histograms without buckets fall back to the later summary with only
+  // the count differenced.
+  SnapshotHistogram h;
+  h.name = "h";
+  h.summary.count = 10;
+  h.summary.p99 = 42.0;
+  earlier.histograms.push_back(h);
+  h.summary.count = 16;
+  later.histograms.push_back(h);
+  const SnapshotDelta d2 = delta(earlier, later);
+  const HistogramSummary* w = d2.histogram("h");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->count, 6u);
+  EXPECT_DOUBLE_EQ(w->p99, 42.0);
+}
+
+/// The hand-built frame behind the golden and round-trip tests: two
+/// counters, one histogram, one window where only svc.requests moved.
+StatsFrame golden_frame() {
+  StatsFrame frame;
+  frame.uptime_seconds = 10.5;
+  frame.interval_ms = 200.0;
+  frame.extra = {{"workers", "2"}, {"degraded", "0"}};
+
+  frame.lifetime.uptime_seconds = 10.5;
+  frame.lifetime.counters = {{"svc.pings", 2}, {"svc.requests", 10}};
+  SnapshotHistogram hist;
+  hist.name = "svc.latency_us";
+  hist.summary.count = 4;
+  hist.summary.min = 1.0;
+  hist.summary.max = 8.0;
+  hist.summary.p50 = 2.0;
+  hist.summary.p90 = 4.0;
+  hist.summary.p99 = 8.0;
+  frame.lifetime.histograms.push_back(hist);
+
+  frame.window.seconds = 2.0;
+  frame.window.counters = {{"svc.pings", 0}, {"svc.requests", 4}};
+  HistogramSummary windowed;
+  windowed.count = 2;
+  windowed.min = 1.0;
+  windowed.max = 4.0;
+  windowed.p50 = 2.0;
+  windowed.p90 = 4.0;
+  windowed.p99 = 4.0;
+  frame.window.histograms = {{"svc.latency_us", windowed}};
+  return frame;
+}
+
+TEST(Snapshot, PrometheusExpositionMatchesGolden) {
+  EXPECT_EQ(prometheus_name("svc.latency_us"), "qbss_svc_latency_us");
+  EXPECT_EQ(prometheus_name("weird-name.1"), "qbss_weird_name_1");
+
+  std::ostringstream out;
+  write_prometheus(out, golden_frame());
+  const std::string kGolden =
+      "# TYPE qbss_uptime_seconds gauge\n"
+      "qbss_uptime_seconds 10.5\n"
+      "# TYPE qbss_svc_pings counter\n"
+      "qbss_svc_pings 2\n"
+      "# TYPE qbss_svc_requests counter\n"
+      "qbss_svc_requests 10\n"
+      "# TYPE qbss_svc_latency_us summary\n"
+      "qbss_svc_latency_us{quantile=\"0.5\"} 2\n"
+      "qbss_svc_latency_us{quantile=\"0.9\"} 4\n"
+      "qbss_svc_latency_us{quantile=\"0.99\"} 8\n"
+      "qbss_svc_latency_us_count 4\n"
+      "# TYPE qbss_svc_latency_us_min gauge\n"
+      "qbss_svc_latency_us_min 1\n"
+      "# TYPE qbss_svc_latency_us_max gauge\n"
+      "qbss_svc_latency_us_max 8\n"
+      "# TYPE qbss_window_seconds gauge\n"
+      "qbss_window_seconds 2\n"
+      "# TYPE qbss_window_svc_requests_rate gauge\n"
+      "qbss_window_svc_requests_rate 2\n"
+      "# TYPE qbss_window_svc_latency_us summary\n"
+      "qbss_window_svc_latency_us{quantile=\"0.5\"} 2\n"
+      "qbss_window_svc_latency_us{quantile=\"0.9\"} 4\n"
+      "qbss_window_svc_latency_us{quantile=\"0.99\"} 4\n"
+      "qbss_window_svc_latency_us_count 2\n"
+      "# TYPE qbss_window_svc_latency_us_min gauge\n"
+      "qbss_window_svc_latency_us_min 1\n"
+      "# TYPE qbss_window_svc_latency_us_max gauge\n"
+      "qbss_window_svc_latency_us_max 4\n";
+  EXPECT_EQ(out.str(), kGolden);
+}
+
+TEST(Snapshot, JsonStatsFrameRoundTripsThroughParser) {
+  std::ostringstream out;
+  io::write_json_stats(out, golden_frame());
+
+  std::string error;
+  const std::optional<StatsData> parsed =
+      parse_stats_json(out.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error << "\n" << out.str();
+  EXPECT_DOUBLE_EQ(parsed->uptime_seconds, 10.5);
+  EXPECT_DOUBLE_EQ(parsed->interval_ms, 200.0);
+  EXPECT_DOUBLE_EQ(parsed->window_seconds, 2.0);
+  EXPECT_EQ(parsed->extra.at("workers"), "2");
+  EXPECT_EQ(parsed->extra.at("degraded"), "0");
+  EXPECT_DOUBLE_EQ(parsed->lifetime.counters.at("svc.requests"), 10.0);
+  EXPECT_DOUBLE_EQ(parsed->lifetime.counters.at("svc.pings"), 2.0);
+  EXPECT_DOUBLE_EQ(parsed->window.counters.at("svc.requests"), 4.0);
+  const HistogramSummary& life =
+      parsed->lifetime.histograms.at("svc.latency_us");
+  EXPECT_EQ(life.count, 4u);
+  EXPECT_DOUBLE_EQ(life.p99, 8.0);
+  const HistogramSummary& window =
+      parsed->window.histograms.at("svc.latency_us");
+  EXPECT_EQ(window.count, 2u);
+  EXPECT_DOUBLE_EQ(window.p99, 4.0);
+  // The two ManifestData carriers record their time spans.
+  EXPECT_DOUBLE_EQ(parsed->lifetime.wall_seconds, 10.5);
+  EXPECT_DOUBLE_EQ(parsed->window.wall_seconds, 2.0);
+
+  // The same document diffs as a manifest via its lifetime block (the
+  // `qbss obs-diff` path for scraped frames).
+  const std::optional<ManifestData> as_manifest =
+      parse_manifest_json(out.str(), &error);
+  ASSERT_TRUE(as_manifest.has_value()) << error;
+  EXPECT_DOUBLE_EQ(as_manifest->wall_seconds, 10.5);
+  EXPECT_DOUBLE_EQ(as_manifest->counters.at("svc.requests"), 10.0);
+}
+
+}  // namespace
+}  // namespace qbss::obs

@@ -37,6 +37,7 @@
 #include "io/format.hpp"
 #include "obs/diff.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "qbss/bkpq.hpp"
 #include "scheduling/schedule.hpp"
 
@@ -610,7 +611,7 @@ TEST(Server, VersionMismatchGetsDistinctTypedError) {
     FrameHeader header;
     unsigned char wire[kHeaderSize];
     encode_header(header, wire);
-    wire[3] = 0x32;  // "QSS2": right protocol, wrong version byte
+    wire[3] = 0x31;  // "QSS1": right protocol, old version byte
 
     FrameHeader reply;
     std::string payload;
@@ -652,7 +653,7 @@ TEST(Server, TruncatedHeaderJustClosesAndServerSurvives) {
   with_server(config, "trunc", [](const std::string& path, Server&) {
     const int fd = raw_connect(path);
     ASSERT_GE(fd, 0);
-    const unsigned char partial[10] = {0x51, 0x53, 0x53, 0x31};
+    const unsigned char partial[10] = {0x51, 0x53, 0x53, 0x32};
     ASSERT_TRUE(send_raw(fd, partial, sizeof partial));
     ::shutdown(fd, SHUT_WR);
     // A torn header cannot be answered (there is no request id to echo);
@@ -668,6 +669,110 @@ TEST(Server, TruncatedHeaderJustClosesAndServerSurvives) {
     ASSERT_TRUE(client.connect_unix(path, &error)) << error;
     ASSERT_TRUE(client.ping(&error)) << error;
   });
+}
+
+TEST(Server, StatsFrameReportsLifetimeAndWindow) {
+  ServerConfig config;
+  config.workers = 1;
+  config.stats_interval_ms = 50.0;
+  with_server(config, "stats", [](const std::string& path, Server&) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+
+    Request request;
+    request.algo = "bkpq";
+    request.instance = small_instance(31);
+    Client::Reply reply;
+    constexpr int kSolves = 5;
+    for (int i = 0; i < kSolves; ++i) {
+      ASSERT_TRUE(client.call(request, &reply, &error)) << error;
+      ASSERT_EQ(reply.status, Status::kOk) << reply.payload;
+    }
+
+    Client::Reply stats;
+    ASSERT_TRUE(client.stats("json", &stats, &error)) << error;
+    const std::optional<obs::StatsData> frame =
+        obs::parse_stats_json(stats.payload, &error);
+    ASSERT_TRUE(frame.has_value()) << error << "\n" << stats.payload;
+    EXPECT_GT(frame->uptime_seconds, 0.0);
+    EXPECT_EQ(frame->extra.at("workers"), "1");
+#ifdef QBSS_OBS_OFF
+    // Observability compiled out: the stats verb still answers a
+    // well-formed frame, with zeroed metrics.
+    EXPECT_EQ(frame->lifetime.counters.count("svc.requests"), 0u);
+#else
+    EXPECT_GE(frame->lifetime.counters.at("svc.requests"),
+              static_cast<double>(kSolves));
+    EXPECT_GE(frame->lifetime.counters.at("svc.hit.zero_copy"), 1.0);
+    EXPECT_GE(frame->lifetime.histograms.at("svc.latency_us").count, 1u);
+#endif
+
+    // The Prometheus exposition of the same registry.
+    Client::Reply prom;
+    ASSERT_TRUE(client.stats("prometheus", &prom, &error)) << error;
+    EXPECT_NE(prom.payload.find("# TYPE qbss_uptime_seconds gauge"),
+              std::string::npos)
+        << prom.payload.substr(0, 200);
+#ifndef QBSS_OBS_OFF
+    EXPECT_NE(prom.payload.find("# TYPE qbss_svc_requests counter"),
+              std::string::npos);
+#endif
+
+    // An unknown format is a typed error reply, not a disconnect.
+    Request bad;
+    bad.verb = Verb::kStats;
+    bad.stats_format = "xml";
+    Client::Reply rejected;
+    ASSERT_TRUE(client.call(bad, &rejected, &error)) << error;
+    EXPECT_EQ(rejected.status, Status::kError);
+    ASSERT_TRUE(client.ping(&error)) << error;
+  });
+}
+
+TEST(Server, TraceIdPropagatesEndToEnd) {
+  const std::string trace_path =
+      "/tmp/qbss-test-" + std::to_string(::getpid()) + "-trace.json";
+  obs::set_trace_path(trace_path);
+  ServerConfig config;
+  config.workers = 1;
+  config.trace_sample = 1;  // every nonzero id gets a span chain
+  with_server(config, "traceid", [](const std::string& path, Server&) {
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect_unix(path, &error)) << error;
+
+    Request request;
+    request.algo = "bkpq";
+    request.instance = small_instance(41);
+
+    client.set_next_trace_id(0x1234abcdULL);
+    Client::Reply reply;
+    ASSERT_TRUE(client.call(request, &reply, &error)) << error;
+    ASSERT_EQ(reply.status, Status::kOk) << reply.payload;
+    EXPECT_EQ(client.last_trace_id(), 0x1234abcdULL);
+    EXPECT_EQ(reply.trace_id, 0x1234abcdULL);  // echoed in the header
+
+    // Auto-generated ids are nonzero and echoed too.
+    ASSERT_TRUE(client.call(request, &reply, &error)) << error;
+    EXPECT_NE(client.last_trace_id(), 0u);
+    EXPECT_EQ(reply.trace_id, client.last_trace_id());
+  });
+  obs::flush_trace();
+  obs::set_trace_path("");
+
+  std::ifstream in(trace_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+#ifndef QBSS_OBS_OFF
+  // The sampled span chain is attributable to the client-stamped id.
+  EXPECT_NE(trace.find("0x1234abcd"), std::string::npos);
+  EXPECT_NE(trace.find("req.accept"), std::string::npos);
+  EXPECT_NE(trace.find("req.cache"), std::string::npos);
+  EXPECT_NE(trace.find("req.write"), std::string::npos);
+#endif
+  std::remove(trace_path.c_str());
 }
 
 TEST(Server, HeaderFuzzNeverWedgesTheServer) {

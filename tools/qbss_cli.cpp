@@ -11,9 +11,14 @@
 //   qbss bounds [--alpha A]                       print Table 1 bounds
 //   qbss serve --socket PATH [--tcp PORT] ...     resident scheduling
 //                                                 service (docs/SERVICE.md)
+//   qbss scrape --socket PATH|--tcp PORT          fetch one stats frame
+//             [--format json|prometheus]          from a running server
+//   qbss top  --socket PATH|--tcp PORT            live per-interval rate
+//             [--interval-ms X] [--count N]       table from stats frames
 //   qbss obs-diff BASELINE.json CANDIDATE.json... diff two run manifests
-//                                                 and exit nonzero on
-//                                                 regression
+//                                                 (or scraped stats
+//                                                 frames) and exit
+//                                                 nonzero on regression
 //
 // Global flags: --trace FILE (Chrome trace of instrumented spans),
 // --quiet (suppress the [obs] counter/manifest report on stderr),
@@ -23,13 +28,16 @@
 // Example:
 //   qbss gen --family compression --n 20 --seed 7 | qbss run --algo bkpq
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/bounds.hpp"
@@ -54,6 +62,7 @@
 #include "qbss/crcd.hpp"
 #include "qbss/crp2d.hpp"
 #include "qbss/oaq.hpp"
+#include "svc/client.hpp"
 #include "svc/server.hpp"
 
 #include "options.hpp"
@@ -66,7 +75,8 @@ using tools::parse_options;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: qbss <gen|run|opt|stats|bounds|serve|obs-diff> "
+               "usage: qbss "
+               "<gen|run|opt|stats|bounds|serve|scrape|top|obs-diff> "
                "[--options]\n"
                "  gen    --family mixed|compression|optimizer|common|pow2 "
                "[--n N] [--seed S]\n"
@@ -86,6 +96,17 @@ int usage() {
                "         [--read-timeout-ms X] [--write-timeout-ms X] "
                "[--drain-ms X]\n"
                "         [--degraded-ms X] [--faults PLAN]\n"
+               "         [--stats-interval-ms X] [--stats-ring N] "
+               "[--trace-sample N]\n"
+               "           --stats-interval-ms  snapshot-ring cadence "
+               "backing the stats\n"
+               "                       verb's recent-rates window "
+               "(default 1000; 0 = off)\n"
+               "           --stats-ring  snapshots retained (default 8)\n"
+               "           --trace-sample  record a span chain for "
+               "requests whose\n"
+               "                       trace id %% N == 0 (default 16; "
+               "1 = all, 0 = none)\n"
                "           --faults    seeded fault plan (or QBSS_FAULTS "
                "env), e.g.\n"
                "                       "
@@ -99,10 +120,34 @@ int usage() {
                "qbss-loadgen); writes\n"
                "         BENCH_svc.json at shutdown (--manifest "
                "overrides the path)\n"
+               "  scrape --socket PATH | --tcp PORT [--format "
+               "json|prometheus]\n"
+               "         [--timeout-ms X]\n"
+               "         fetch one stats frame from a running server to "
+               "stdout\n"
+               "         (prometheus = text exposition ready for a "
+               "scraper)\n"
+               "  top    --socket PATH | --tcp PORT [--interval-ms X] "
+               "[--count N]\n"
+               "         [--timeout-ms X] [--frames-out FILE]\n"
+               "         [--expect-monotone] [--expect-active]\n"
+               "         poll stats frames and print a live rate table "
+               "(req/s, hit%%,\n"
+               "         shed/s, latency percentiles); ctrl-C to stop\n"
+               "           --count N          stop after N polls "
+               "(N-1 table rows)\n"
+               "           --frames-out FILE  append each raw JSON frame "
+               "(one per line)\n"
+               "           --expect-monotone  exit 1 if any lifetime "
+               "counter decreases\n"
+               "           --expect-active    exit 1 unless solve traffic "
+               "was observed\n"
                "  obs-diff BASELINE.json CANDIDATE.json [CANDIDATE2.json "
                "...]\n"
                "         compare run manifests (see docs/OBSERVABILITY.md); "
                "exits 1 on regression\n"
+               "         scraped stats frames are accepted too (their "
+               "lifetime block diffs)\n"
                "         multiple candidates are reduced to their "
                "metric-wise median first\n"
                "           --ratio-tol X  timer ns/call ratio tolerance "
@@ -307,6 +352,10 @@ int cmd_serve(const Options& opts) {
   cfg.write_timeout_ms = opts.number("write-timeout-ms", 10000.0);
   cfg.drain_ms = opts.number("drain-ms", 2000.0);
   cfg.degraded_window_ms = opts.number("degraded-ms", 0.0);
+  cfg.stats_interval_ms = opts.number("stats-interval-ms", 1000.0);
+  cfg.stats_ring = static_cast<std::size_t>(opts.number("stats-ring", 8));
+  cfg.trace_sample =
+      static_cast<std::uint64_t>(opts.number("trace-sample", 16));
   cfg.manifest_path = opts.get("manifest", "BENCH_svc.json");
   cfg.external_stop = &g_stop_requested;
   if (cfg.socket_path.empty() && cfg.tcp_port == 0) {
@@ -363,6 +412,197 @@ int cmd_serve(const Options& opts) {
   std::fprintf(stderr, "[svc] shut down after %llu responses\n",
                static_cast<unsigned long long>(server.responses()));
   return 0;
+}
+
+/// Parses the --socket/--tcp pair shared by scrape and top. False (with
+/// a message) when neither is given.
+bool stats_endpoint(const Options& opts, const char* command,
+                    svc::Endpoint* endpoint) {
+  endpoint->socket_path = opts.get("socket", "");
+  endpoint->tcp_port = static_cast<int>(opts.number("tcp", 0));
+  if (endpoint->socket_path.empty() && endpoint->tcp_port == 0) {
+    std::fprintf(stderr, "%s needs --socket PATH or --tcp PORT\n", command);
+    return false;
+  }
+  return true;
+}
+
+int cmd_scrape(const Options& opts) {
+  svc::Endpoint endpoint;
+  if (!stats_endpoint(opts, "scrape", &endpoint)) return 2;
+  const std::string format = opts.get("format", "json");
+  if (format != "json" && format != "prometheus") {
+    std::fprintf(stderr, "scrape: --format must be json or prometheus\n");
+    return 2;
+  }
+  svc::Client client;
+  client.set_timeout_ms(opts.number("timeout-ms", 5000.0));
+  std::string error;
+  if (!client.connect(endpoint, &error)) {
+    std::fprintf(stderr, "scrape: %s\n", error.c_str());
+    return 1;
+  }
+  svc::Client::Reply reply;
+  if (!client.stats(format, &reply, &error)) {
+    std::fprintf(stderr, "scrape: %s\n", error.c_str());
+    return 1;
+  }
+  std::fwrite(reply.payload.data(), 1, reply.payload.size(), stdout);
+  return 0;
+}
+
+int cmd_top(const Options& opts) {
+  svc::Endpoint endpoint;
+  if (!stats_endpoint(opts, "top", &endpoint)) return 2;
+  const double interval_ms = opts.number("interval-ms", 1000.0);
+  const int count = static_cast<int>(opts.number("count", 0));
+  const bool expect_monotone = opts.flag("expect-monotone");
+  const bool expect_active = opts.flag("expect-active");
+
+  std::ofstream frames;
+  if (const std::string path = opts.get("frames-out", ""); !path.empty()) {
+    frames.open(path);
+    if (!frames) {
+      std::fprintf(stderr, "top: cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+
+  svc::Client client;
+  client.set_timeout_ms(opts.number("timeout-ms", 5000.0));
+  std::string error;
+  if (!client.connect(endpoint, &error)) {
+    std::fprintf(stderr, "top: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  const auto counter = [](const std::map<std::string, double>& table,
+                          const char* name) {
+    const auto it = table.find(name);
+    return it == table.end() ? 0.0 : it->second;
+  };
+  const auto extra_or = [](const std::map<std::string, std::string>& table,
+                           const char* name,
+                           const char* fallback) -> const char* {
+    const auto it = table.find(name);
+    return it == table.end() ? fallback : it->second.c_str();
+  };
+  // Solve traffic excludes the frames top itself generates (stats) and
+  // pings, so req/s here matches what the loadgen reports.
+  const auto solve_traffic = [&](const std::map<std::string, double>& t) {
+    return counter(t, "svc.requests") - counter(t, "svc.pings") -
+           counter(t, "svc.stats.requests");
+  };
+  const auto shed_total = [](const std::map<std::string, double>& table) {
+    double total = 0.0;
+    for (const auto& [name, value] : table) {
+      if (name.rfind("svc.shed.", 0) == 0) total += value;
+    }
+    return total;
+  };
+
+  bool have_prev = false;
+  obs::StatsData prev;
+  bool monotone_ok = true;
+  bool saw_active = false;
+  int rows = 0;
+  for (int poll = 0; count == 0 || poll < count; ++poll) {
+    if (g_stop_requested.load()) break;
+    if (poll > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          interval_ms));
+      if (g_stop_requested.load()) break;
+    }
+    svc::Client::Reply reply;
+    if (!client.stats("json", &reply, &error)) {
+      // One reconnect: the server may have reaped an idle connection.
+      if (!client.connect(endpoint, &error) ||
+          !client.stats("json", &reply, &error)) {
+        std::fprintf(stderr, "top: %s\n", error.c_str());
+        return 1;
+      }
+    }
+    if (frames.is_open()) frames << reply.payload << std::flush;
+    const std::optional<obs::StatsData> frame =
+        obs::parse_stats_json(reply.payload, &error);
+    if (!frame) {
+      std::fprintf(stderr, "top: bad stats frame: %s\n", error.c_str());
+      return 1;
+    }
+    if (!have_prev) {
+      std::fprintf(
+          stderr, "[top] connected: uptime=%.1fs workers=%s queue_depth=%s\n",
+          frame->uptime_seconds, extra_or(frame->extra, "workers", "?"),
+          extra_or(frame->extra, "queue_depth", "?"));
+    } else {
+      for (const auto& [name, value] : prev.lifetime.counters) {
+        if (counter(frame->lifetime.counters, name.c_str()) < value) {
+          std::fprintf(stderr, "[top] counter %s went backwards\n",
+                       name.c_str());
+          monotone_ok = false;
+        }
+      }
+      const double dt = frame->uptime_seconds - prev.uptime_seconds;
+      const double seconds = dt > 0.0 ? dt : 1.0;
+      const double reqs = counter(frame->lifetime.counters, "svc.requests") -
+                          counter(prev.lifetime.counters, "svc.requests");
+      const double solves =
+          solve_traffic(frame->lifetime.counters) -
+          solve_traffic(prev.lifetime.counters);
+      const double hits =
+          counter(frame->lifetime.counters, "svc.hit.zero_copy") -
+          counter(prev.lifetime.counters, "svc.hit.zero_copy");
+      const double sheds = shed_total(frame->lifetime.counters) -
+                           shed_total(prev.lifetime.counters);
+      if (solves > 0.0) saw_active = true;
+
+      obs::HistogramSummary latency;
+      if (const auto it = frame->window.histograms.find("svc.latency_us");
+          it != frame->window.histograms.end()) {
+        latency = it->second;
+      }
+      if (rows % 20 == 0) {
+        std::printf("%8s %9s %9s %6s %8s %9s %9s %6s %5s\n", "up(s)",
+                    "req/s", "solve/s", "hit%", "shed/s", "p50(us)",
+                    "p99(us)", "queued", "degr");
+      }
+      std::printf("%8.1f %9.1f %9.1f %5.1f%% %8.1f %9.1f %9.1f %6s %5s\n",
+                  frame->uptime_seconds, reqs / seconds, solves / seconds,
+                  solves > 0.0 ? 100.0 * hits / solves : 0.0,
+                  sheds / seconds, latency.count != 0 ? latency.p50 : 0.0,
+                  latency.count != 0 ? latency.p99 : 0.0,
+                  extra_or(frame->extra, "queued_now", "?"),
+                  extra_or(frame->extra, "degraded", "?"));
+      std::fflush(stdout);
+      ++rows;
+    }
+    prev = *frame;
+    have_prev = true;
+  }
+
+  if (have_prev) {
+    std::fprintf(
+        stderr,
+        "[top] final: uptime=%.1fs requests=%.0f solves=%.0f hits=%.0f "
+        "shed=%.0f errors=%.0f\n",
+        prev.uptime_seconds, counter(prev.lifetime.counters, "svc.requests"),
+        solve_traffic(prev.lifetime.counters),
+        counter(prev.lifetime.counters, "svc.hit.zero_copy"),
+        shed_total(prev.lifetime.counters),
+        counter(prev.lifetime.counters, "svc.errors"));
+  }
+  int rc = 0;
+  if (expect_monotone && !monotone_ok) {
+    std::fprintf(stderr, "top: a lifetime counter decreased\n");
+    rc = 1;
+  }
+  if (expect_active && !saw_active) {
+    std::fprintf(stderr, "top: no solve traffic observed\n");
+    rc = 1;
+  }
+  return rc;
 }
 
 int cmd_obs_diff(const Options& opts) {
@@ -454,6 +694,8 @@ int dispatch(const std::string& command, const Options& opts) {
   if (command == "stats") return cmd_stats(opts);
   if (command == "bounds") return cmd_bounds(opts);
   if (command == "serve") return cmd_serve(opts);
+  if (command == "scrape") return cmd_scrape(opts);
+  if (command == "top") return cmd_top(opts);
   if (command == "obs-diff") return cmd_obs_diff(opts);
   return usage();
 }

@@ -49,6 +49,7 @@
 #include "obs/histogram.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
 #include "scheduling/schedule.hpp"
 #include "svc/client.hpp"
 #include "svc/retry.hpp"
@@ -250,6 +251,8 @@ int usage() {
       "  --expect-cache-hits  exit 1 if no response came from the cache\n"
       "  --expect-retries  exit 1 if no request needed a retry\n"
       "  --expect-qps Q    exit 1 if achieved throughput < Q req/s\n"
+      "  --progress MS     print a one-line throughput/latency/retry\n"
+      "                    summary to stderr every MS milliseconds\n"
       "  --shutdown        send a shutdown frame when done\n"
       "  --manifest FILE   write the loadgen manifest as JSON\n"
       "  --quiet           suppress the summary report\n");
@@ -312,6 +315,46 @@ int main(int argc, char** argv) {
         std::make_unique<svc::RetryingClient>(endpoint, policy));
   }
 
+  // --progress: a reporter thread prints one summary line per tick,
+  // sourced from registry snapshot deltas — the same machinery behind
+  // the server's stats verb, so rates and windowed percentiles here and
+  // in `qbss top` agree by construction.
+  std::atomic<bool> progress_stop{false};
+  std::thread progress_thread;
+  if (const double progress_ms = opts.number("progress", 0.0);
+      progress_ms > 0.0) {
+    progress_thread = std::thread([&progress_stop, progress_ms] {
+      obs::Snapshot prev = obs::capture_snapshot(true);
+      while (!progress_stop.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(progress_ms));
+        const obs::Snapshot now = obs::capture_snapshot(true);
+        const obs::SnapshotDelta d = obs::delta(prev, now);
+        obs::HistogramSummary lat;
+        if (const obs::HistogramSummary* h =
+                d.histogram("loadgen.latency_us")) {
+          lat = *h;
+        }
+        std::fprintf(
+            stderr,
+            "[loadgen] t=%.1fs %.1f req/s ok %llu hit %llu shed %llu "
+            "err %llu retry %llu p50=%.1fus p99=%.1fus\n",
+            now.uptime_seconds, d.rate("loadgen.sent"),
+            static_cast<unsigned long long>(d.counter("loadgen.ok")),
+            static_cast<unsigned long long>(
+                d.counter("loadgen.cache_hits")),
+            static_cast<unsigned long long>(d.counter("loadgen.shed")),
+            static_cast<unsigned long long>(
+                d.counter("loadgen.errors") +
+                d.counter("loadgen.transport_failures")),
+            static_cast<unsigned long long>(
+                d.counter("svc.retry.retries")),
+            lat.count != 0 ? lat.p50 : 0.0, lat.count != 0 ? lat.p99 : 0.0);
+        prev = now;
+      }
+    });
+  }
+
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> threads;
   threads.reserve(connections);
@@ -334,6 +377,10 @@ int main(int argc, char** argv) {
   for (std::thread& t : threads) t.join();
   const double seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  if (progress_thread.joinable()) {
+    progress_stop.store(true);
+    progress_thread.join();
+  }
 
   if (opts.flag("shutdown")) {
     // The shutdown frame rides the retry loop too: a fault plan that
