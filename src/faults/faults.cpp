@@ -64,6 +64,22 @@ void count_fired(FaultSpec::Kind kind) {
 
 }  // namespace
 
+const char* kind_name(FaultSpec::Kind kind) noexcept {
+  switch (kind) {
+    case FaultSpec::Kind::kReadShort:
+      return "read_short";
+    case FaultSpec::Kind::kWriteErr:
+      return "write_err";
+    case FaultSpec::Kind::kDelay:
+      return "delay";
+    case FaultSpec::Kind::kCorruptHeader:
+      return "corrupt_header";
+    case FaultSpec::Kind::kWorkerStall:
+      break;
+  }
+  return "worker_stall";
+}
+
 Site FaultSpec::site() const noexcept {
   switch (kind) {
     case Kind::kReadShort:
@@ -178,6 +194,7 @@ Action Injector::fire(Site site) {
     ++fired_[i];
     injected_.fetch_add(1, std::memory_order_relaxed);
     count_fired(spec.kind);
+    action.fired_kinds |= 1u << static_cast<std::uint32_t>(spec.kind);
     switch (spec.kind) {
       case FaultSpec::Kind::kReadShort:
       case FaultSpec::Kind::kWriteErr:

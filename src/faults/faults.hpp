@@ -51,6 +51,9 @@ struct Action {
   bool drop_connection = false;  ///< tear the stream instead of the io
   bool corrupt_header = false;   ///< flip the outgoing frame's magic
   double delay_ms = 0.0;         ///< sleep this long before proceeding
+  /// One bit per FaultSpec::Kind that fired on this opportunity, so the
+  /// site can log a `faults.fired` event per clause with its name.
+  std::uint32_t fired_kinds = 0;
   [[nodiscard]] bool any() const noexcept {
     return drop_connection || corrupt_header || delay_ms > 0.0;
   }
@@ -65,6 +68,7 @@ struct FaultSpec {
     kCorruptHeader,  ///< corrupt the frame at a write opportunity
     kWorkerStall,    ///< one long sleep at a compute opportunity
   };
+  static constexpr std::size_t kKindCount = 5;
   Kind kind = Kind::kDelay;
   double p = 1.0;           ///< firing probability per opportunity
   std::uint64_t after = 0;  ///< skip the first `after` opportunities
@@ -72,6 +76,9 @@ struct FaultSpec {
   bool once = false;        ///< fire at most once over the process life
   [[nodiscard]] Site site() const noexcept;
 };
+
+/// The plan-grammar spelling of a clause kind ("read_short", ...).
+[[nodiscard]] const char* kind_name(FaultSpec::Kind kind) noexcept;
 
 /// A parsed fault plan. Empty (no clauses) disables injection.
 struct FaultPlan {

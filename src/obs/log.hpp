@@ -1,0 +1,240 @@
+// qbss::obs — structured event log + crash flight recorder, the third
+// observability pillar next to the counter registry and the Chrome
+// trace.
+//
+// Events are fixed-schema NDJSON records: a monotonic `ts_ns` (same
+// clock as the trace spans), a severity, an event name, the QSS2
+// `trace_id`, the recording thread, and up to kMaxArgs typed key=value
+// arguments. Instrumentation sites use QBSS_LOG_DEBUG / QBSS_LOG_INFO /
+// QBSS_LOG_WARN / QBSS_LOG_ERR, which write the event into a per-thread
+// lock-free ring buffer — the hot path never takes a lock and never
+// allocates (event names must be string literals; string arguments are
+// truncating copies into a fixed buffer; the schema keys ts_ns, level,
+// event, trace_id and thread are reserved — don't reuse them as arg
+// keys, the reader would fold such an arg into the schema field). A background flusher drains
+// the rings to stderr or a `--log FILE` sink, filtered by severity
+// (`--log-level`, QBSS_LOG env). Compiling with QBSS_OBS_OFF (CMake:
+// -DQBSS_OBS=OFF) turns every macro into dead code the optimizer
+// deletes; the functions themselves always compile, so tooling that
+// *reads* logs (qbss logs) keeps linking.
+//
+// The flight recorder rides the same rings: every event is retained in
+// its ring regardless of the sink's severity filter, so the last
+// kRingCapacity events per thread are always available.
+// dump_flight_recorder() merges the rings timestamp-ordered into an
+// NDJSON file, and install_crash_handler() arranges for SIGSEGV /
+// SIGABRT / SIGBUS to do that dump (to `flight-<pid>.ndjson` unless
+// set_flight_path() chose otherwise) before re-raising — a black box
+// for the chaos soak.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qbss::obs {
+
+/// Event severity, ordered. kOff is only meaningful as a sink filter.
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug" / "info" / "warn" / "error" / "off".
+[[nodiscard]] const char* level_name(LogLevel level) noexcept;
+
+/// Parses a level name (the spellings above; "err" also accepted).
+[[nodiscard]] bool parse_log_level(std::string_view text,
+                                   LogLevel* out) noexcept;
+
+/// One typed key=value argument. Construction never allocates: numbers
+/// land in a union, strings are truncating copies into a fixed buffer.
+/// Keys must be string literals (the pointer is retained).
+struct LogArg {
+  enum class Type : std::uint8_t { kNone, kU64, kI64, kF64, kStr, kHex };
+  static constexpr std::size_t kStrBytes = 48;
+
+  const char* key = "";
+  Type type = Type::kNone;
+  union Num {
+    std::uint64_t u;
+    std::int64_t i;
+    double f;
+  } num = {0};
+  char str[kStrBytes] = {0};
+
+  LogArg() = default;
+  LogArg(const char* k, bool v) : key(k), type(Type::kStr) {
+    copy_str(v ? "true" : "false");
+  }
+  LogArg(const char* k, int v) : key(k), type(Type::kI64) { num.i = v; }
+  LogArg(const char* k, long v) : key(k), type(Type::kI64) { num.i = v; }
+  LogArg(const char* k, long long v) : key(k), type(Type::kI64) { num.i = v; }
+  LogArg(const char* k, unsigned v) : key(k), type(Type::kU64) { num.u = v; }
+  LogArg(const char* k, unsigned long v) : key(k), type(Type::kU64) {
+    num.u = v;
+  }
+  LogArg(const char* k, unsigned long long v) : key(k), type(Type::kU64) {
+    num.u = v;
+  }
+  LogArg(const char* k, double v) : key(k), type(Type::kF64) { num.f = v; }
+  LogArg(const char* k, const char* v) : key(k), type(Type::kStr) {
+    copy_str(v);
+  }
+  LogArg(const char* k, std::string_view v) : key(k), type(Type::kStr) {
+    copy_view(v);
+  }
+
+  /// A u64 rendered as "0x..." (ids that read better in hex).
+  [[nodiscard]] static LogArg hex(const char* k, std::uint64_t v) noexcept {
+    LogArg arg;
+    arg.key = k;
+    arg.type = Type::kHex;
+    arg.num.u = v;
+    return arg;
+  }
+
+ private:
+  void copy_str(const char* s) noexcept {
+    copy_view(s == nullptr ? std::string_view() : std::string_view(s));
+  }
+  void copy_view(std::string_view s) noexcept {
+    const std::size_t n = s.size() < kStrBytes - 1 ? s.size() : kStrBytes - 1;
+    // A default-constructed view has a null data(), which memcpy must
+    // never see even with n == 0.
+    if (n > 0) std::memcpy(str, s.data(), n);
+    str[n] = '\0';
+  }
+};
+
+/// One recorded event. Trivially copyable on purpose: ring slots are
+/// copied out under a seqlock, so a torn copy must be detectable, never
+/// undefined. `event` must point at a string literal.
+struct LogEvent {
+  static constexpr std::size_t kMaxArgs = 16;
+  std::uint64_t ts_ns = 0;     ///< obs::now_ns() at the call site
+  std::uint64_t trace_id = 0;  ///< QSS2 wire trace id (0 = untraced)
+  const char* event = "";
+  LogLevel level = LogLevel::kInfo;
+  std::uint8_t nargs = 0;
+  std::int32_t thread = 0;  ///< obs::current_thread_id()
+  LogArg args[kMaxArgs];
+};
+
+/// Events each per-thread ring retains (the flight-recorder window).
+inline constexpr std::size_t kRingCapacity = 1024;
+
+/// Records one event into the calling thread's ring (always, regardless
+/// of the sink's severity filter — the flight recorder sees everything).
+/// Lock-free and allocation-free after the thread's first call. At most
+/// LogEvent::kMaxArgs arguments are kept.
+void log_event(LogLevel level, const char* event, std::uint64_t trace_id,
+               std::initializer_list<LogArg> args) noexcept;
+
+/// Sink severity filter: only events at `level` or above are written by
+/// the flusher. Recording into the rings is unaffected.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Routes flushed events to `path` ("stderr" or "-" for stderr, "" to
+/// disable) and starts the background flusher on first use. False +
+/// *error when the file cannot be opened.
+bool set_log_sink(const std::string& path, std::string* error = nullptr);
+
+/// True when a sink is receiving flushed events.
+[[nodiscard]] bool log_sink_enabled() noexcept;
+
+/// Reads the QBSS_LOG environment variable (a level name) into the sink
+/// filter. Absent/empty is success; a malformed level is false + *error.
+[[nodiscard]] bool configure_log_from_env(std::string* error);
+
+/// Synchronously drains every ring to the sink (no-op when disabled).
+void flush_logs();
+
+/// Events recorded into rings since process start (test support).
+[[nodiscard]] std::uint64_t log_events_recorded() noexcept;
+
+/// Destination for flight-recorder dumps when the caller passes none.
+/// Unset, dumps go to "flight-<pid>.ndjson" in the working directory.
+void set_flight_path(std::string_view path) noexcept;
+
+/// Merges every thread ring, timestamp-ordered, into an NDJSON file:
+/// `path`, or the configured/default flight path when `path` is null or
+/// empty. All severities are written — the whole point is the context
+/// the sink filter would have hidden. Returns the number of events
+/// written, or -1 when the file cannot be opened. Async-signal-safe
+/// modulo double formatting (best effort from a crash handler).
+long dump_flight_recorder(const char* path = nullptr) noexcept;
+
+/// Installs the SIGSEGV/SIGABRT/SIGBUS handler: dump the flight
+/// recorder, note it on stderr, restore the default disposition and
+/// re-raise (so exit codes and core dumps behave as without it).
+void install_crash_handler() noexcept;
+
+/// One parsed NDJSON event line (`qbss logs` and the tests read dumps
+/// back through this).
+struct ParsedLogLine {
+  std::uint64_t ts_ns = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string event;
+  std::string trace_id;  ///< as written, e.g. "0x1f" ("0x0" = untraced)
+  std::int64_t thread = 0;
+  /// Remaining key/value pairs, in writing order. String values are
+  /// unescaped; numbers keep their literal text.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Parses one line written by the flusher or the flight dumper. False +
+/// *error on malformed input (blank lines are malformed too — callers
+/// skip what they want to tolerate).
+[[nodiscard]] bool parse_log_line(std::string_view line, ParsedLogLine* out,
+                                  std::string* error = nullptr);
+
+}  // namespace qbss::obs
+
+#ifndef QBSS_OBS_OFF
+
+/// Records one structured event at `lvl`. `event` must be a string
+/// literal; `tid` is the QSS2 trace id (0 = untraced); the remaining
+/// arguments are obs::LogArg values.
+#define QBSS_LOG_AT(lvl, event, tid, ...)                      \
+  do {                                                         \
+    ::qbss::obs::log_event((lvl), (event),                     \
+                           static_cast<std::uint64_t>(tid),    \
+                           {__VA_ARGS__});                     \
+  } while (0)
+
+#else  // QBSS_OBS_OFF: dead branch the optimizer deletes. Operands
+       // still parse and typecheck but are never evaluated, so log
+       // arguments must be side-effect-free (they should be anyway).
+
+#define QBSS_LOG_AT(lvl, event, tid, ...)                      \
+  do {                                                         \
+    if (false) {                                               \
+      ::qbss::obs::log_event((lvl), (event),                   \
+                             static_cast<std::uint64_t>(tid),  \
+                             {__VA_ARGS__});                   \
+    }                                                          \
+  } while (0)
+
+#endif  // QBSS_OBS_OFF
+
+#define QBSS_LOG_DEBUG(event, tid, ...)                                   \
+  QBSS_LOG_AT(::qbss::obs::LogLevel::kDebug, event, tid __VA_OPT__(, ) \
+                  __VA_ARGS__)
+#define QBSS_LOG_INFO(event, tid, ...)                                   \
+  QBSS_LOG_AT(::qbss::obs::LogLevel::kInfo, event, tid __VA_OPT__(, ) \
+                  __VA_ARGS__)
+#define QBSS_LOG_WARN(event, tid, ...)                                   \
+  QBSS_LOG_AT(::qbss::obs::LogLevel::kWarn, event, tid __VA_OPT__(, ) \
+                  __VA_ARGS__)
+#define QBSS_LOG_ERR(event, tid, ...)                                     \
+  QBSS_LOG_AT(::qbss::obs::LogLevel::kError, event, tid __VA_OPT__(, ) \
+                  __VA_ARGS__)

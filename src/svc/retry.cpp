@@ -6,12 +6,14 @@
 #include <utility>
 
 #include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/registry.hpp"
 
 namespace qbss::svc {
 
 namespace {
 
+using A = obs::LogArg;
 using Clock = std::chrono::steady_clock;
 
 double elapsed_ms(Clock::time_point since) {
@@ -43,38 +45,57 @@ bool RetryingClient::call(const Request& request, Client::Reply* reply,
                           std::string* error) {
   const Clock::time_point start = Clock::now();
   prev_backoff_ms_ = policy_.base_ms;  // each call restarts the ladder
-  std::string attempt_error = "no attempt made";
+  // `last_error` always holds the most recent failure: the exhaustion
+  // summary below must report the *final* typed error — the one that
+  // actually spent the retry budget — never the first.
+  std::string last_error = "no attempt made";
+  int attempts_made = 0;
+  bool deadline_hit = false;
   for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
     if (attempt > 0) {
       QBSS_COUNT("svc.retry.retries");
       ++retries_;
       const double backoff = next_backoff_ms();
       QBSS_HIST("svc.retry.backoff_ms", backoff);
+      QBSS_LOG_INFO("retry.backoff", client_.last_trace_id(),
+                    A("attempt", attempt), A("delay_ms", backoff),
+                    A("reason", last_error));
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff));
     }
     if (policy_.call_deadline_ms > 0.0 &&
         elapsed_ms(start) > policy_.call_deadline_ms) {
-      attempt_error = "call deadline exceeded: " + attempt_error;
+      deadline_hit = true;
       break;
     }
     QBSS_COUNT("svc.retry.attempts");
+    ++attempts_made;
+    QBSS_LOG_DEBUG("retry.attempt", client_.last_trace_id(),
+                   A("attempt", attempts_made));
     if (!client_.connected()) {
-      if (!client_.connect(endpoint_, &attempt_error)) continue;
+      if (!client_.connect(endpoint_, &last_error)) continue;
       if (was_connected_) {
         QBSS_COUNT("svc.retry.reconnects");
         ++reconnects_;
+        QBSS_LOG_INFO("retry.reconnect", 0, A("attempt", attempts_made));
       }
       was_connected_ = true;
     }
-    if (client_.call(request, reply, &attempt_error)) return true;
+    if (client_.call(request, reply, &last_error)) return true;
     // Transport failure: the stream may hold half a frame, so the only
     // safe continuation is a fresh connection.
     client_.close();
   }
   QBSS_COUNT("svc.retry.exhausted");
   ++exhausted_;
-  if (error) *error = "retries exhausted: " + attempt_error;
+  QBSS_LOG_ERR("retry.exhausted", client_.last_trace_id(),
+               A("attempts", attempts_made), A("deadline", deadline_hit),
+               A("error", last_error));
+  last_error_ = (deadline_hit ? "call deadline exceeded after "
+                              : "retries exhausted after ") +
+                std::to_string(attempts_made) + " attempt" +
+                (attempts_made == 1 ? "" : "s") + ": " + last_error;
+  if (error) *error = last_error_;
   return false;
 }
 

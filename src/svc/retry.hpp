@@ -63,6 +63,13 @@ class RetryingClient {
   /// Calls that failed even after every retry.
   [[nodiscard]] std::uint64_t exhausted() const noexcept { return exhausted_; }
 
+  /// The summary of the most recent exhausted call: attempt count plus
+  /// the *final* typed error (the one that spent the budget), not the
+  /// first. Empty until a call exhausts.
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return last_error_;
+  }
+
  private:
   /// Decorrelated jitter (AWS "timing is everything" variant):
   /// sleep = min(cap, uniform(base, max(base, 3 * previous sleep))).
@@ -77,6 +84,7 @@ class RetryingClient {
   std::uint64_t retries_ = 0;
   std::uint64_t reconnects_ = 0;
   std::uint64_t exhausted_ = 0;
+  std::string last_error_;
 };
 
 }  // namespace qbss::svc

@@ -15,6 +15,7 @@
 #include "faults/faults.hpp"
 #include "io/json.hpp"
 #include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -22,6 +23,8 @@
 namespace qbss::svc {
 
 namespace {
+
+using A = obs::LogArg;
 
 using Clock = std::chrono::steady_clock;
 
@@ -54,6 +57,33 @@ std::int64_t ms_to_ns(double ms) {
 
 void sleep_ms(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// One `faults.fired` event per clause kind that fired on this
+/// opportunity, carrying the trace id of the request it hit so the
+/// flight recording correlates the fault to the surrounding req events.
+void log_fault_fired(const faults::Action& action, const char* site,
+                     std::uint64_t trace_id, std::uint64_t conn_id) {
+  for (std::uint32_t kind = 0; kind < faults::FaultSpec::kKindCount; ++kind) {
+    if ((action.fired_kinds & (1u << kind)) == 0) continue;
+    QBSS_LOG_WARN(
+        "faults.fired", trace_id, A("site", site),
+        A("kind",
+          faults::kind_name(static_cast<faults::FaultSpec::Kind>(kind))),
+        A("conn", conn_id), A("delay_ms", action.delay_ms));
+  }
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kShed:
+      return "shed";
+    case Status::kError:
+      break;
+  }
+  return "error";
 }
 
 }  // namespace
@@ -140,17 +170,53 @@ bool Server::start(std::string* error) {
     stats_thread_ = std::thread([this] { stats_loop(); });
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
+  log_server_start();
   return true;
 }
 
+void Server::log_server_start() {
+  // The effective configuration as one event: every soak's log/flight
+  // artifact is self-describing instead of relying on the CI command
+  // line. Endpoint merged into one arg to stay within the arg budget.
+  std::string endpoint = config_.socket_path;
+  if (config_.tcp_port != 0) {
+    if (!endpoint.empty()) endpoint += "+";
+    endpoint += "tcp:" + std::to_string(config_.tcp_port);
+  }
+  const faults::FaultPlan plan = faults::injector().plan();
+  QBSS_LOG_INFO(
+      "server.start", 0, A("endpoint", endpoint),
+      A("workers", config_.workers), A("queue_depth", config_.queue_depth),
+      A("cache_entries", config_.cache_entries),
+      A("cache_shards", config_.cache_shards), A("batch", config_.batch),
+      A("delay_ms", config_.delay_ms),
+      A("read_timeout_ms", config_.read_timeout_ms),
+      A("write_timeout_ms", config_.write_timeout_ms),
+      A("drain_ms", config_.drain_ms),
+      A("degraded_window_ms", config_.degraded_window_ms),
+      A("stats_interval_ms", config_.stats_interval_ms),
+      A("stats_ring", config_.stats_ring),
+      A("trace_sample", config_.trace_sample),
+      A("fault_plan", plan.empty() ? std::string_view("none")
+                                   : std::string_view(plan.text)));
+}
+
 void Server::shutdown() {
-  if (!stopping_.exchange(true, std::memory_order_acq_rel) &&
-      config_.drain_ms > 0.0) {
-    // Bound the shutdown drain: backlog still queued past this point is
-    // shed instead of solved, so exit time is O(drain_ms) rather than
-    // O(queue_depth * solve time).
-    drain_deadline_ns_.store(now_ns() + ms_to_ns(config_.drain_ms),
-                             std::memory_order_relaxed);
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (config_.drain_ms > 0.0) {
+      // Bound the shutdown drain: backlog still queued past this point
+      // is shed instead of solved, so exit time is O(drain_ms) rather
+      // than O(queue_depth * solve time).
+      drain_deadline_ns_.store(now_ns() + ms_to_ns(config_.drain_ms),
+                               std::memory_order_relaxed);
+    }
+    std::size_t queued = 0;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mu_);
+      queued = queue_.size();
+    }
+    QBSS_LOG_INFO("server.drain", 0, A("queued", queued),
+                  A("drain_ms", config_.drain_ms));
   }
   queue_cv_.notify_all();
   stats_cv_.notify_all();
@@ -187,9 +253,37 @@ void Server::wait() {
     const std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.clear();
   }
+  QBSS_LOG_INFO("server.exit", 0, A("responses", responses()));
   if (!config_.manifest_path.empty()) {
     write_manifest();
     config_.manifest_path.clear();  // once per lifetime
+  }
+  if (flight_pending_.exchange(false, std::memory_order_acq_rel)) {
+    // The final, complete black box: every trigger-time dump above was
+    // rate-limited and raced ongoing traffic; this one sees it all.
+    dump_flight_recorder();
+  }
+}
+
+void Server::dump_flight_recorder() {
+  if (config_.flight_path.empty()) return;
+  QBSS_COUNT("svc.flight.dumps");
+  obs::flush_logs();  // the sink stream and the dump agree on history
+  obs::dump_flight_recorder(config_.flight_path.c_str());
+}
+
+void Server::note_flight_trigger() {
+  if (config_.flight_path.empty()) return;
+  flight_pending_.store(true, std::memory_order_release);
+  // Rate limit trigger-time dumps: a chaos plan can fire hundreds of
+  // clauses per second, and each dump rewrites the whole file anyway.
+  const std::uint64_t now = obs::now_ns();
+  std::uint64_t last = last_flight_dump_ns_.load(std::memory_order_relaxed);
+  constexpr std::uint64_t kMinGapNs = 250'000'000;  // 250 ms
+  if (last != 0 && now - last < kMinGapNs) return;
+  if (last_flight_dump_ns_.compare_exchange_strong(
+          last, now, std::memory_order_acq_rel)) {
+    dump_flight_recorder();
   }
 }
 
@@ -241,7 +335,10 @@ void Server::accept_loop() {
       set_socket_timeouts(fd, config_.read_timeout_ms,
                           config_.write_timeout_ms);
       QBSS_COUNT("svc.connections");
-      auto conn = std::make_shared<Connection>(fd);
+      const std::uint64_t conn_id =
+          next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      auto conn = std::make_shared<Connection>(fd, conn_id);
+      QBSS_LOG_INFO("conn.accept", 0, A("conn", conn_id));
       const std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
       readers_.emplace_back(
@@ -256,6 +353,8 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
   // storage instead of allocating per frame.
   std::string& payload = conn->read_buf;
   std::string error;
+  const char* close_reason = "eof";
+  bool abnormal = false;
   for (;;) {
     FrameHeader header;
     const ReadResult rc = read_frame(conn->fd, &header, &payload, &error);
@@ -264,6 +363,8 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       // holding a reader thread hostage forever.
       QBSS_COUNT("svc.timeout.read");
       ::shutdown(conn->fd, SHUT_RDWR);
+      close_reason = "read_timeout";
+      abnormal = true;
       break;
     }
     if (rc == ReadResult::kBadFrame) {
@@ -271,23 +372,42 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       // a typed error frame saying why before the close — never a
       // silent drop.
       QBSS_COUNT("svc.badframe");
+      QBSS_LOG_WARN("req.error", 0, A("conn", conn->id),
+                    A("message", error));
       respond(Waiter{conn, 0, Clock::now(), 0.0, {}}, Status::kError, 0,
               "message: " + error + "\n");
+      close_reason = "badframe";
+      abnormal = true;
+      break;
+    }
+    if (rc == ReadResult::kError) {
+      close_reason = "read_error";
+      abnormal = true;
       break;
     }
     if (rc != ReadResult::kFrame) break;
     const faults::Action fault = QBSS_FAULT(faults::Site::kRead);
+    log_fault_fired(fault, "read", header.trace_id, conn->id);
+    if (fault.any()) note_flight_trigger();
     if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
     if (fault.drop_connection) {
       // Injected short read: tear the connection down mid-request; the
       // client sees EOF with no response and must reconnect and retry.
       ::shutdown(conn->fd, SHUT_RDWR);
+      close_reason = "fault_drop";
+      abnormal = true;
       break;
     }
     QBSS_COUNT("svc.requests");
     handle_request(conn, header, payload);
-    if (stopping_.load(std::memory_order_acquire)) break;
+    if (stopping_.load(std::memory_order_acquire)) {
+      close_reason = "shutdown";
+      break;
+    }
   }
+  QBSS_LOG_INFO("conn.close", 0, A("conn", conn->id),
+                A("reason", close_reason));
+  if (abnormal) note_flight_trigger();
   // Pending waiters still hold Connection references, so responses in
   // flight stay safe; pruning here just stops conns_ growing forever.
   const std::lock_guard<std::mutex> lock(conns_mu_);
@@ -320,6 +440,8 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
   std::string error;
   if (!parse_request(payload, &request, &error)) {
     QBSS_COUNT("svc.errors");
+    QBSS_LOG_WARN("req.error", trace.id, A("conn", conn->id),
+                  A("req", frame.request_id), A("message", error));
     respond(self, Status::kError, 0, "message: " + error + "\n");
     return;
   }
@@ -365,11 +487,15 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     // the entry is evicted or refreshed while the response drains.
     QBSS_COUNT("svc.hit.zero_copy");
     if (degraded) QBSS_COUNT("svc.degraded.served");
+    QBSS_LOG_DEBUG("req.hit", trace.id, A("conn", conn->id),
+                   A("req", frame.request_id), A("degraded", degraded));
     respond(self, Status::kOk, kFlagCacheHit, *hit);
     return;
   }
   if (degraded) {
     QBSS_COUNT("svc.shed.degraded");
+    QBSS_LOG_WARN("req.degraded", trace.id, A("conn", conn->id),
+                  A("req", frame.request_id));
     respond(self, Status::kShed, 0, "reason: degraded\n");
     return;
   }
@@ -408,6 +534,8 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
       }
       for (const Waiter& w : riders) {
         QBSS_COUNT("svc.shed.queue");
+        QBSS_LOG_WARN("req.shed", w.trace.id, A("conn", w.conn->id),
+                      A("req", w.request_id), A("reason", "queue_full"));
         respond(w, Status::kShed, 0, "reason: queue_full\n");
       }
       if (config_.degraded_window_ms > 0.0) enter_degraded();
@@ -415,6 +543,8 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     }
     queue_.push_back(Task{key, std::move(request), std::move(inflight)});
     QBSS_COUNT("svc.admitted");
+    QBSS_LOG_DEBUG("req.admit", trace.id, A("conn", conn->id),
+                   A("req", frame.request_id), A("queued", queue_.size()));
     QBSS_HIST("svc.queue_depth", static_cast<double>(queue_.size()));
   }
   queue_cv_.notify_one();
@@ -539,6 +669,8 @@ bool Server::prepare_task(Task& task) {
       }
       for (const Waiter& w : abandoned) {
         QBSS_COUNT("svc.shed.shutdown");
+        QBSS_LOG_WARN("req.shed", w.trace.id, A("conn", w.conn->id),
+                      A("req", w.request_id), A("reason", "shutdown"));
         respond(w, Status::kShed, 0, "reason: shutdown\n");
       }
       return false;
@@ -567,6 +699,8 @@ bool Server::prepare_task(Task& task) {
   }
   for (const Waiter& w : expired) {
     QBSS_COUNT("svc.shed.deadline");
+    QBSS_LOG_WARN("req.shed", w.trace.id, A("conn", w.conn->id),
+                  A("req", w.request_id), A("reason", "deadline"));
     respond(w, Status::kShed, 0, "reason: deadline\n");
   }
   return !skip;
@@ -592,6 +726,10 @@ void Server::finish_task(Task& task, SolveItem& item, std::uint64_t picked_ns,
     waiters = std::move(task.inflight->waiters);
     inflight_.erase(task.key);
   }
+  QBSS_LOG_DEBUG("req.solve", waiters.empty() ? 0 : waiters[0].trace.id,
+                 A("ok", item.ok),
+                 A("bytes", item.ok ? pinned->size() : item.payload.size()),
+                 A("waiters", waiters.size()));
   for (Waiter& w : waiters) {
     if (w.trace.sampled) {
       w.trace.picked_ns = picked_ns;
@@ -617,6 +755,18 @@ void Server::process_batch(std::vector<Task>& batch) {
   // count and order as the previous one-solve-at-a-time loop.
   for (std::size_t k = 0; k < solvable.size(); ++k) {
     const faults::Action fault = QBSS_FAULT(faults::Site::kCompute);
+    if (fault.any()) {
+      std::uint64_t trace_id = 0;
+      {
+        // The fault hit this task: borrow its first waiter's trace id so
+        // the flight recording ties the stall to a concrete request.
+        const std::lock_guard<std::mutex> lock(inflight_mu_);
+        const auto& waiters = batch[solvable[k]].inflight->waiters;
+        if (!waiters.empty()) trace_id = waiters[0].trace.id;
+      }
+      log_fault_fired(fault, "compute", trace_id, 0);
+      note_flight_trigger();
+    }
     if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
     if (config_.delay_ms > 0.0) sleep_ms(config_.delay_ms);
   }
@@ -647,7 +797,13 @@ void Server::respond(const Waiter& waiter, Status status, std::uint32_t flags,
   header.trace_id = waiter.trace.id;
   std::string error;
   const faults::Action fault = QBSS_FAULT(faults::Site::kWrite);
+  log_fault_fired(fault, "write", waiter.trace.id, waiter.conn->id);
+  if (fault.any()) note_flight_trigger();
   if (fault.delay_ms > 0.0) sleep_ms(fault.delay_ms);
+  QBSS_LOG_DEBUG("req.write", waiter.trace.id, A("conn", waiter.conn->id),
+                 A("req", waiter.request_id),
+                 A("status", status_name(status)),
+                 A("latency_us", elapsed_us(waiter.admitted)));
   const std::lock_guard<std::mutex> lock(waiter.conn->write_mu);
   if (fault.corrupt_header) {
     // Injected corruption: the frame goes out with a flipped magic

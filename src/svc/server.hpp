@@ -75,6 +75,12 @@ struct ServerConfig {
   /// request, 0 = never. No effect unless tracing is enabled.
   std::uint64_t trace_sample = 16;
   std::string manifest_path; ///< manifest epilogue at shutdown ("" = none)
+  /// Flight-recorder dump destination. When set, the server dumps the
+  /// merged event rings here whenever a fault-injection clause trips or
+  /// a connection dies abnormally (rate-limited), and once more at
+  /// shutdown if any such trigger was seen. "" disables automatic
+  /// dumps (the crash handler, if installed, still writes one).
+  std::string flight_path;
   /// Extra manifest key/values (the CLI records its flags here).
   std::vector<std::pair<std::string, std::string>> manifest_extra;
   /// Optional externally-owned stop flag (signal handlers set it; the
@@ -110,15 +116,24 @@ class Server {
     return responses_.load(std::memory_order_relaxed);
   }
 
+  /// Dumps the merged event rings to the configured flight path (the
+  /// explicit hook behind the automatic fault/abnormal-close triggers).
+  /// No-op unless `flight_path` is set.
+  void dump_flight_recorder();
+
  private:
   /// One client connection. The fd closes when the last reference
   /// drops (readers and pending waiters share ownership), so responses
   /// racing a disconnect write to a valid-but-dead socket, never to a
   /// reused descriptor.
   struct Connection {
-    explicit Connection(int fd_in) : fd(fd_in) { read_buf.reserve(4096); }
+    explicit Connection(int fd_in, std::uint64_t id_in)
+        : fd(fd_in), id(id_in) {
+      read_buf.reserve(4096);
+    }
     ~Connection();
     int fd;
+    std::uint64_t id;  ///< dense accept-order id (log correlation)
     std::mutex write_mu;  ///< one response frame leaves at a time
     /// Reader-owned frame payload buffer, preallocated and reused across
     /// every request on this connection (read_frame assigns in place, so
@@ -191,6 +206,12 @@ class Server {
                std::string_view payload);
   void enter_degraded();
   void write_manifest();
+  /// Records that something flight-worthy happened (fault fired,
+  /// abnormal connection death) and dumps the rings, rate-limited; a
+  /// final dump happens at shutdown. No-op unless flight_path is set.
+  void note_flight_trigger();
+  /// Logs the `server.start` event carrying the effective config.
+  void log_server_start();
 
   ServerConfig config_;
   ResultCache cache_;
@@ -199,6 +220,11 @@ class Server {
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> next_conn_id_{0};
+  /// A flight trigger fired since start (final dump owed at shutdown).
+  std::atomic<bool> flight_pending_{false};
+  /// obs::now_ns() of the last automatic flight dump (rate limiting).
+  std::atomic<std::uint64_t> last_flight_dump_ns_{0};
   /// steady_clock ns until which the degradation window is active (0 =
   /// never entered; steady_clock never reads negative here).
   std::atomic<std::int64_t> degraded_until_ns_{0};

@@ -8,6 +8,7 @@
 #endif
 
 #include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 
@@ -20,6 +21,16 @@ int obs_off_probe_touch() {
   QBSS_COUNT_ADD("obs.off.probe.evaluated", ++evaluations);
   QBSS_HIST("obs.off.probe.hist", ++evaluations);
   QBSS_SPAN("obs.off.probe.span");
+  // The log macros compile to a dead branch: their operands typecheck
+  // but are never evaluated, so the increments below must not land —
+  // the caller still sees evaluations == 2 and log_events_recorded()
+  // unchanged.
+  QBSS_LOG_DEBUG("obs.off.probe.log", 0);
+  QBSS_LOG_INFO("obs.off.probe.log", 0,
+                qbss::obs::LogArg("n", ++evaluations));
+  QBSS_LOG_WARN("obs.off.probe.log", ++evaluations);
+  QBSS_LOG_ERR("obs.off.probe.log", 0,
+               qbss::obs::LogArg::hex("h", 0xffULL));
   return evaluations;
 }
 

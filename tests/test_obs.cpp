@@ -5,6 +5,7 @@
 // QBSS_OBS_OFF no-op guarantee (via a probe TU compiled with the macros
 // disabled).
 #include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
@@ -381,10 +382,15 @@ TEST(Manifest, WritersRestoreStreamState) {
 }
 
 TEST(ObsOff, MacrosCompileAwayInOffTranslationUnits) {
+  const std::uint64_t recorded_before = log_events_recorded();
   const int evaluations = qbss::obs_test::obs_off_probe_touch();
-  // Macro operands are still evaluated (they must parse and not warn)...
+  // Macro operands are still evaluated (they must parse and not warn) —
+  // except the QBSS_LOG_* ones, whose dead branch typechecks its
+  // operands without running them, so the probe's log-arg increments
+  // must not show up here.
   EXPECT_EQ(evaluations, 2);
-  // ...but nothing was registered or counted.
+  // ...but nothing was registered, counted or recorded.
+  EXPECT_EQ(log_events_recorded(), recorded_before);
   EXPECT_FALSE(snapshot_has("obs.off.probe"));
   EXPECT_FALSE(snapshot_has("obs.off.probe.add"));
   EXPECT_FALSE(snapshot_has("obs.off.probe.evaluated"));

@@ -6,8 +6,16 @@
 // `{a,b}` brace groups expanded). A new metric without a doc entry —
 // or a renamed metric leaving a stale entry unverifiable — fails here.
 // The doc path arrives via the QBSS_OBSERVABILITY_MD compile definition.
+//
+// The structured event log gets the same treatment, both directions: a
+// source scan over src/ and tools/ (rooted at QBSS_SRC_DIR) collects
+// every event name passed to a QBSS_LOG_* macro, and the "Log events"
+// catalogue section must list exactly that set — an instrumentation
+// site without a doc row fails, and so does a doc row whose event no
+// longer exists anywhere.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -81,6 +89,72 @@ std::set<std::string> documented_names(const std::string& path) {
   return names;
 }
 
+/// Every event name passed to a QBSS_LOG_DEBUG/INFO/WARN/ERR macro in
+/// the src/ and tools/ trees. Only literal first arguments count (the
+/// macros require literals anyway); the match demands the macro name be
+/// immediately followed by `("`, so prose mentions in comments and the
+/// macro definitions themselves don't register.
+std::set<std::string> emitted_log_events(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::set<std::string> names;
+  static const std::set<std::string> kMacros = {"DEBUG", "INFO", "WARN",
+                                               "ERR"};
+  for (const std::string& dir : {root + "/src", root + "/tools"}) {
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::ifstream in(entry.path());
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const std::string text = buffer.str();
+      const std::string needle = "QBSS_LOG_";
+      for (std::size_t pos = text.find(needle); pos != std::string::npos;
+           pos = text.find(needle, pos + 1)) {
+        std::size_t end = pos + needle.size();
+        while (end < text.size() && text[end] >= 'A' && text[end] <= 'Z') {
+          ++end;
+        }
+        if (!kMacros.contains(text.substr(pos + needle.size(),
+                                          end - pos - needle.size()))) {
+          continue;
+        }
+        if (end >= text.size() || text[end] != '(') continue;
+        const std::size_t quote =
+            text.find_first_not_of(" \t\n", end + 1);
+        if (quote == std::string::npos || text[quote] != '"') continue;
+        const std::size_t close = text.find('"', quote + 1);
+        if (close == std::string::npos) continue;
+        names.insert(text.substr(quote + 1, close - quote - 1));
+      }
+    }
+  }
+  return names;
+}
+
+/// The event names in the catalogue's "Log events" table: the first
+/// backticked token of each `| ... |` row inside that section, brace
+/// groups expanded.
+std::set<std::string> documented_log_events(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::set<std::string> names;
+  std::string line;
+  bool in_section = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("#", 0) == 0) {
+      in_section = line.find("Log events") != std::string::npos;
+      continue;
+    }
+    if (!in_section || line.rfind("| `", 0) != 0) continue;
+    const std::size_t open = line.find('`');
+    const std::size_t close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    expand_braces(line.substr(open + 1, close - open - 1), names);
+  }
+  return names;
+}
+
 /// Runs every QBSS policy (and the validators and harness around them)
 /// once, so the registry holds a representative snapshot.
 void run_representative_workload() {
@@ -141,6 +215,25 @@ TEST(ObsDocs, EveryRegisteredMetricIsInTheCatalogue) {
     EXPECT_TRUE(documented.contains(name))
         << "histogram `" << name
         << "` is not documented in docs/OBSERVABILITY.md";
+  }
+}
+
+TEST(ObsDocs, LogEventCatalogueMatchesTheInstrumentation) {
+  const std::set<std::string> emitted = emitted_log_events(QBSS_SRC_DIR);
+  ASSERT_FALSE(emitted.empty());
+  const std::set<std::string> documented =
+      documented_log_events(QBSS_OBSERVABILITY_MD);
+  ASSERT_FALSE(documented.empty());
+  for (const std::string& name : emitted) {
+    EXPECT_TRUE(documented.contains(name))
+        << "log event `" << name
+        << "` has no row in the Log events catalogue in "
+           "docs/OBSERVABILITY.md";
+  }
+  for (const std::string& name : documented) {
+    EXPECT_TRUE(emitted.contains(name))
+        << "documented log event `" << name
+        << "` is not emitted anywhere under src/ or tools/";
   }
 }
 

@@ -152,6 +152,73 @@ TEST(Snapshot, HandBuiltDeltaFollowsMatchingRules) {
   EXPECT_DOUBLE_EQ(w->p99, 42.0);
 }
 
+TEST(Snapshot, DeltaClampsBucketSubtractionInsteadOfUnderflowing) {
+  constexpr auto kBuckets = static_cast<std::size_t>(Histogram::kBucketCount);
+  Snapshot earlier;
+  earlier.uptime_seconds = 1.0;
+  Snapshot later;
+  later.uptime_seconds = 2.0;
+  // Snapshot::histogram binary-searches, so keep pushes name-sorted.
+
+  // A histogram that exists only in the later snapshot (new buckets
+  // appeared between captures): the whole thing is the window.
+  SnapshotHistogram appeared;
+  appeared.name = "a.appeared";
+  appeared.buckets.assign(kBuckets, 0);
+  appeared.buckets[4] = 3;
+  appeared.summary.count = 3;
+  appeared.summary.min = 1.0;
+  appeared.summary.max = 1e9;
+  later.histograms.push_back(appeared);
+
+  // A histogram whose earlier capture had no buckets (captured with
+  // with_buckets=false) but whose later one does: bucket subtraction is
+  // impossible, so the delta falls back to the later summary with the
+  // count differenced — and an earlier count *larger* than the later
+  // one (restart) must clamp to zero, not wrap.
+  SnapshotHistogram gained;
+  gained.name = "b.gained";
+  gained.summary.count = 9;
+  earlier.histograms.push_back(gained);
+  gained.buckets.assign(kBuckets, 0);
+  gained.buckets[2] = 5;
+  gained.summary.count = 5;
+  gained.summary.p99 = 7.0;
+  later.histograms.push_back(gained);
+
+  // A bucket that went backwards between snapshots (reset mid-window):
+  // its diff must clamp to zero instead of underflowing to ~2^64 and
+  // swamping the summary.
+  SnapshotHistogram shrunk;
+  shrunk.name = "c.shrunk";
+  shrunk.buckets.assign(kBuckets, 0);
+  shrunk.buckets[3] = 10;
+  shrunk.buckets[5] = 2;
+  shrunk.summary.count = 12;
+  earlier.histograms.push_back(shrunk);
+  shrunk.buckets[3] = 4;  // decreased
+  shrunk.buckets[5] = 7;  // grew by 5
+  shrunk.summary.count = 11;
+  shrunk.summary.min = 0.5;
+  shrunk.summary.max = 1e12;
+  later.histograms.push_back(shrunk);
+
+  const SnapshotDelta d = delta(earlier, later);
+
+  const HistogramSummary* a = d.histogram("a.appeared");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 3u);
+
+  const HistogramSummary* g = d.histogram("b.gained");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->count, 0u);  // 5 - 9 clamps, never wraps
+  EXPECT_DOUBLE_EQ(g->p99, 7.0);
+
+  const HistogramSummary* s = d.histogram("c.shrunk");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 5u);  // only bucket 5's growth; bucket 3 clamped
+}
+
 /// The hand-built frame behind the golden and round-trip tests: two
 /// counters, one histogram, one window where only svc.requests moved.
 StatsFrame golden_frame() {

@@ -1,12 +1,14 @@
 // Minimal --key value option parsing shared by the qbss CLI tools.
 #pragma once
 
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/parallel_for.hpp"
+#include "obs/log.hpp"
 
 namespace qbss::tools {
 
@@ -65,6 +67,53 @@ inline RetryOptions parse_retry_options(const Options& opts) {
   retry.timeout_ms = opts.number("timeout-ms", chaos ? 2000.0 : 0.0);
   retry.retries = static_cast<int>(opts.number("retries", chaos ? 8.0 : 0.0));
   return retry;
+}
+
+/// Applies the structured-log flags shared by the tools: the `QBSS_LOG`
+/// environment variable (a level name), then `--log-level LVL` (wins
+/// over the env) and `--log FILE` ("stderr" or "-" for stderr). Returns
+/// 0 on success, 2 with a message on a malformed value. In a binary
+/// built with -DQBSS_OBS=OFF any logging flag (including serve's
+/// `--flight`) is rejected with exit code 2 instead of silently
+/// recording nothing — mirroring how `--faults` behaves under
+/// -DQBSS_FAULTS=OFF.
+inline int apply_log_options(const Options& opts, const char* tool) {
+#ifdef QBSS_OBS_OFF
+  for (const char* name : {"log", "log-level", "flight"}) {
+    if (opts.flag(name)) {
+      std::fprintf(stderr,
+                   "%s: --%s requested but this binary was built with "
+                   "-DQBSS_OBS=OFF\n",
+                   tool, name);
+      return 2;
+    }
+  }
+  return 0;
+#else
+  std::string error;
+  if (!obs::configure_log_from_env(&error)) {
+    std::fprintf(stderr, "%s: %s\n", tool, error.c_str());
+    return 2;
+  }
+  if (const std::string text = opts.get("log-level", ""); !text.empty()) {
+    obs::LogLevel level = obs::LogLevel::kInfo;
+    if (!obs::parse_log_level(text, &level)) {
+      std::fprintf(stderr,
+                   "%s: bad --log-level \"%s\" (want debug|info|warn|"
+                   "error|off)\n",
+                   tool, text.c_str());
+      return 2;
+    }
+    obs::set_log_level(level);
+  }
+  if (const std::string path = opts.get("log", ""); !path.empty()) {
+    if (!obs::set_log_sink(path, &error)) {
+      std::fprintf(stderr, "%s: %s\n", tool, error.c_str());
+      return 2;
+    }
+  }
+  return 0;
+#endif
 }
 
 /// Applies the global `--threads N` override (wins over `QBSS_THREADS`);

@@ -19,14 +19,21 @@
 //                                                 (or scraped stats
 //                                                 frames) and exit
 //                                                 nonzero on regression
+//   qbss logs --file FILE [--level L] [--event E]  tail/filter a
+//             [--trace-id ID] [--follow]           structured event log
+//   qbss logs --postmortem FILE                    pretty-print a flight
+//                                                  recorder dump
 //
 // Global flags: --trace FILE (Chrome trace of instrumented spans),
-// --quiet (suppress the [obs] counter/manifest report on stderr),
-// --manifest FILE (write this run's manifest as JSON),
-// --threads N (sweep thread count, overrides QBSS_THREADS).
+// --log FILE / --log-level LVL (structured event log sink + severity;
+// QBSS_LOG env also sets the level), --quiet (suppress the [obs]
+// counter/manifest report on stderr), --manifest FILE (write this run's
+// manifest as JSON), --threads N (sweep thread count, overrides
+// QBSS_THREADS).
 //
 // Example:
 //   qbss gen --family compression --n 20 --seed 7 | qbss run --algo bkpq
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -36,6 +43,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +59,7 @@
 #include "io/json.hpp"
 #include "io/render.hpp"
 #include "obs/diff.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -76,7 +85,7 @@ using tools::parse_options;
 int usage() {
   std::fprintf(stderr,
                "usage: qbss "
-               "<gen|run|opt|stats|bounds|serve|scrape|top|obs-diff> "
+               "<gen|run|opt|stats|bounds|serve|scrape|top|obs-diff|logs> "
                "[--options]\n"
                "  gen    --family mixed|compression|optimizer|common|pow2 "
                "[--n N] [--seed S]\n"
@@ -95,7 +104,8 @@ int usage() {
                "[--delay-ms X]\n"
                "         [--read-timeout-ms X] [--write-timeout-ms X] "
                "[--drain-ms X]\n"
-               "         [--degraded-ms X] [--faults PLAN]\n"
+               "         [--degraded-ms X] [--faults PLAN] "
+               "[--flight FILE]\n"
                "         [--stats-interval-ms X] [--stats-ring N] "
                "[--trace-sample N]\n"
                "           --stats-interval-ms  snapshot-ring cadence "
@@ -112,6 +122,12 @@ int usage() {
                "                       "
                "'read_short:p=0.05,delay:ms=50,seed=7' — see\n"
                "                       docs/SERVICE.md for the grammar\n"
+               "           --flight FILE  dump the event-log flight "
+               "recorder here\n"
+               "                       whenever a fault clause fires or a "
+               "connection\n"
+               "                       dies abnormally (and once more at "
+               "shutdown)\n"
                "         resident scheduling service over a framed "
                "Unix-domain/TCP\n"
                "         protocol with result caching, coalescing and "
@@ -160,9 +176,29 @@ int usage() {
                "(default 1e6)\n"
                "           --json         emit the report as JSON instead "
                "of markdown\n"
+               "  logs   --file FILE [--level debug|info|warn|error] "
+               "[--event NAME]\n"
+               "         [--trace-id ID] [--follow]\n"
+               "         print the event-log lines matching every given "
+               "filter\n"
+               "           --follow       keep polling FILE for new "
+               "events (tail -f)\n"
+               "  logs   --postmortem FILE\n"
+               "         pretty-print a flight-recorder dump: relative "
+               "timestamps,\n"
+               "         per-level tallies, aligned events "
+               "(docs/OBSERVABILITY.md)\n"
                "global flags (any subcommand):\n"
                "  --trace FILE     write a Chrome trace (chrome://tracing /"
                " Perfetto) of instrumented spans\n"
+               "  --log FILE       write structured NDJSON events here "
+               "(stderr or -\n"
+               "                   for stderr; docs/OBSERVABILITY.md has "
+               "the schema)\n"
+               "  --log-level LVL  sink severity floor: debug|info|warn|"
+               "error|off\n"
+               "                   (default info; the QBSS_LOG env var "
+               "also sets it)\n"
                "  --quiet          suppress the [obs] counter/manifest report"
                " on stderr\n"
                "  --manifest FILE  write this run's manifest as JSON\n"
@@ -357,11 +393,18 @@ int cmd_serve(const Options& opts) {
   cfg.trace_sample =
       static_cast<std::uint64_t>(opts.number("trace-sample", 16));
   cfg.manifest_path = opts.get("manifest", "BENCH_svc.json");
+  cfg.flight_path = opts.get("flight", "");
   cfg.external_stop = &g_stop_requested;
   if (cfg.socket_path.empty() && cfg.tcp_port == 0) {
     std::fprintf(stderr, "serve needs --socket PATH and/or --tcp PORT\n");
     return 2;
   }
+
+  // The crash handler dumps the flight recorder before re-raising; point
+  // it at the same file the server's automatic triggers use so a crash
+  // and a fault trip tell one story.
+  if (!cfg.flight_path.empty()) obs::set_flight_path(cfg.flight_path);
+  obs::install_crash_handler();
 
   // Fault plan: --faults wins over the QBSS_FAULTS environment variable.
   std::string fault_plan = opts.get("faults", "");
@@ -648,6 +691,160 @@ int cmd_obs_diff(const Options& opts) {
   return report.ok() ? 0 : 1;
 }
 
+/// The `qbss logs` filter set: every given filter must match.
+struct LogFilter {
+  obs::LogLevel min_level = obs::LogLevel::kDebug;
+  std::string event;
+  bool have_trace = false;
+  std::uint64_t trace = 0;
+
+  [[nodiscard]] bool matches(const obs::ParsedLogLine& line) const {
+    if (line.level < min_level) return false;
+    if (!event.empty() && line.event != event) return false;
+    if (have_trace &&
+        std::strtoull(line.trace_id.c_str(), nullptr, 0) != trace) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// `qbss logs --postmortem`: renders a flight-recorder dump (or any
+/// event-log file) for humans — relative milliseconds from the first
+/// event, per-level tallies, aligned event names, args as key=value.
+int render_postmortem(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "logs: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<obs::ParsedLogLine> events;
+  std::string line;
+  std::uint64_t skipped = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    obs::ParsedLogLine parsed;
+    if (!obs::parse_log_line(line, &parsed)) {
+      ++skipped;
+      continue;
+    }
+    events.push_back(std::move(parsed));
+  }
+  if (events.empty()) {
+    std::fprintf(stderr, "logs: no parsable events in %s\n", path.c_str());
+    return 1;
+  }
+  // Dumps are merged timestamp-ordered already; re-sort anyway so a
+  // hand-concatenated file still renders as one timeline.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const obs::ParsedLogLine& a,
+                      const obs::ParsedLogLine& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  const std::uint64_t t0 = events.front().ts_ns;
+  std::size_t by_level[4] = {0, 0, 0, 0};
+  std::set<std::int64_t> threads;
+  std::size_t event_width = 0;
+  for (const obs::ParsedLogLine& e : events) {
+    const auto index = static_cast<std::size_t>(e.level);
+    if (index < 4) ++by_level[index];
+    threads.insert(e.thread);
+    event_width = std::max(event_width, e.event.size());
+  }
+  std::printf("postmortem: %s\n", path.c_str());
+  std::printf(
+      "  %zu events over %.3f ms on %zu threads "
+      "(%zu debug, %zu info, %zu warn, %zu error)\n",
+      events.size(),
+      static_cast<double>(events.back().ts_ns - t0) / 1e6, threads.size(),
+      by_level[0], by_level[1], by_level[2], by_level[3]);
+  if (skipped != 0) {
+    std::printf("  (%llu unparsable line(s) skipped)\n",
+                static_cast<unsigned long long>(skipped));
+  }
+  for (const obs::ParsedLogLine& e : events) {
+    std::printf("  +%10.3fms %-5s %-*s",
+                static_cast<double>(e.ts_ns - t0) / 1e6,
+                obs::level_name(e.level), static_cast<int>(event_width),
+                e.event.c_str());
+    if (!e.trace_id.empty() && e.trace_id != "0x0") {
+      std::printf(" trace=%s", e.trace_id.c_str());
+    }
+    std::printf(" thr=%lld", static_cast<long long>(e.thread));
+    for (const auto& [key, value] : e.args) {
+      std::printf(" %s=%s", key.c_str(), value.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_logs(const Options& opts) {
+  if (const std::string path = opts.get("postmortem", ""); !path.empty()) {
+    return render_postmortem(path);
+  }
+  std::string path = opts.get("file", "");
+  if (path.empty() && !opts.positional.empty()) path = opts.positional[0];
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "logs needs --file FILE (or --postmortem FILE)\n");
+    return 2;
+  }
+
+  LogFilter filter;
+  if (const std::string text = opts.get("level", ""); !text.empty()) {
+    if (!obs::parse_log_level(text, &filter.min_level)) {
+      std::fprintf(stderr,
+                   "logs: bad --level \"%s\" (want debug|info|warn|"
+                   "error)\n",
+                   text.c_str());
+      return 2;
+    }
+  }
+  filter.event = opts.get("event", "");
+  if (const std::string id = opts.get("trace-id", ""); !id.empty()) {
+    filter.have_trace = true;
+    filter.trace = std::strtoull(id.c_str(), nullptr, 0);
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "logs: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const bool follow = opts.flag("follow");
+  if (follow) {
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+  }
+  std::uint64_t skipped = 0;
+  std::string line;
+  for (;;) {
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      obs::ParsedLogLine parsed;
+      if (!obs::parse_log_line(line, &parsed)) {
+        ++skipped;
+        continue;
+      }
+      if (!filter.matches(parsed)) continue;
+      std::fputs(line.c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+    if (!follow || g_stop_requested.load()) break;
+    // tail -f: the writer appends whole lines, so clearing eof and
+    // re-reading from the current offset picks them up.
+    if (in.eof()) in.clear();
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  if (skipped != 0 && !opts.flag("quiet")) {
+    std::fprintf(stderr, "[logs] skipped %llu unparsable line(s)\n",
+                 static_cast<unsigned long long>(skipped));
+  }
+  return 0;
+}
+
 /// The [obs] report: a one-line manifest summary plus the final counter
 /// and histogram snapshots, on stderr so piped stdout output stays clean.
 /// With --manifest FILE the same manifest is also written as JSON —
@@ -697,6 +894,7 @@ int dispatch(const std::string& command, const Options& opts) {
   if (command == "scrape") return cmd_scrape(opts);
   if (command == "top") return cmd_top(opts);
   if (command == "obs-diff") return cmd_obs_diff(opts);
+  if (command == "logs") return cmd_logs(opts);
   return usage();
 }
 
@@ -709,9 +907,13 @@ int main(int argc, char** argv) {
   if (const std::string trace = opts.get("trace", ""); !trace.empty()) {
     obs::set_trace_path(trace);
   }
+  if (const int rc = tools::apply_log_options(opts, "qbss"); rc != 0) {
+    return rc;
+  }
   tools::apply_thread_override(opts);
   const int rc = dispatch(command, opts);
   report(command, opts);
   obs::flush_trace();
+  obs::flush_logs();
   return rc;
 }

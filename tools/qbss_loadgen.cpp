@@ -47,6 +47,7 @@
 #include "io/format.hpp"
 #include "io/json.hpp"
 #include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/registry.hpp"
 #include "obs/snapshot.hpp"
@@ -246,6 +247,12 @@ int usage() {
       "  --retries R       retries per request after the first attempt\n"
       "                    (default 0; 8 under --chaos)\n"
       "  --chaos           retry defaults for a server under QBSS_FAULTS\n"
+      "  --log FILE        write structured NDJSON events (retry.* and\n"
+      "                    loadgen decisions) to FILE; stderr or - for "
+      "stderr\n"
+      "  --log-level LVL   sink severity floor: debug|info|warn|error|off\n"
+      "                    (default info; the QBSS_LOG env var also sets "
+      "it)\n"
       "  --expect-no-shed  exit 1 if any request was shed\n"
       "  --expect-shed     exit 1 if no request was shed\n"
       "  --expect-cache-hits  exit 1 if no response came from the cache\n"
@@ -263,6 +270,10 @@ int usage() {
 
 int main(int argc, char** argv) {
   const Options opts = tools::parse_options(argc, argv, 1);
+  if (const int rc = tools::apply_log_options(opts, "qbss-loadgen");
+      rc != 0) {
+    return rc;
+  }
   tools::apply_thread_override(opts);
 
   svc::Endpoint endpoint;
@@ -394,10 +405,17 @@ int main(int argc, char** argv) {
   std::uint64_t retried = 0;
   std::uint64_t reconnects = 0;
   std::uint64_t exhausted = 0;
+  std::string exhausted_error;
   for (const auto& client : clients) {
     retried += client->retries();
     reconnects += client->reconnects();
     exhausted += client->exhausted();
+    // The connection-level summary keeps the *final* typed error of its
+    // most recent exhausted call; surface one of them so a failed chaos
+    // run names the fault that actually spent the budget.
+    if (exhausted_error.empty() && !client->last_error().empty()) {
+      exhausted_error = client->last_error();
+    }
   }
 
   const obs::HistogramSummary latency =
@@ -426,6 +444,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(retried),
                   static_cast<unsigned long long>(reconnects),
                   static_cast<unsigned long long>(exhausted));
+      if (exhausted > 0 && !exhausted_error.empty()) {
+        std::printf("  last exhausted call: %s\n", exhausted_error.c_str());
+      }
     }
     if (state.validate) {
       std::printf("  validated %llu schedules, %llu invalid\n",
@@ -492,5 +513,6 @@ int main(int argc, char** argv) {
                  expect_qps, achieved_qps);
     failed = true;
   }
+  obs::flush_logs();
   return failed ? 1 : 0;
 }
