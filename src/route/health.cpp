@@ -1,0 +1,75 @@
+#include "route/health.hpp"
+
+namespace qbss::route {
+
+bool Breaker::allow(std::int64_t now_ns) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ns < open_until_ns_) return false;
+      state_ = State::kHalfOpen;
+      probe_inflight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_inflight_) return false;
+      probe_inflight_ = true;
+      return true;
+  }
+  return false;
+}
+
+bool Breaker::record_success(std::int64_t) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  probe_inflight_ = false;
+  if (state_ == State::kClosed) return false;
+  state_ = State::kClosed;
+  open_until_ns_ = 0;
+  return true;
+}
+
+bool Breaker::record_failure(std::int64_t now_ns) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  probe_inflight_ = false;
+  ++consecutive_failures_;
+  if (state_ == State::kClosed) {
+    if (consecutive_failures_ < config_.failure_threshold) return false;
+    state_ = State::kOpen;
+    open_until_ns_ = now_ns + open_ns();
+    return true;
+  }
+  // Open or half-open: the backend was already down; restart the
+  // cooldown without reporting a second down edge.
+  state_ = State::kOpen;
+  open_until_ns_ = now_ns + open_ns();
+  return false;
+}
+
+Breaker::State Breaker::state(std::int64_t now_ns) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kOpen && now_ns >= open_until_ns_) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+int Breaker::failures() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+const char* breaker_state_name(Breaker::State state) noexcept {
+  switch (state) {
+    case Breaker::State::kClosed:
+      return "closed";
+    case Breaker::State::kOpen:
+      return "open";
+    case Breaker::State::kHalfOpen:
+      break;
+  }
+  return "half_open";
+}
+
+}  // namespace qbss::route

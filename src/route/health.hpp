@@ -1,0 +1,76 @@
+// qbss::route breaker — the per-backend open/half-open/closed circuit
+// the router's health checks and proxy path both feed.
+//
+// States (docs/ROUTING.md has the transition table):
+//
+//   closed    traffic flows; `failure_threshold` consecutive failures
+//             trip it open.
+//   open      traffic is skipped (the ring fails over) for `open_ms`.
+//   half-open after the cooldown, exactly one probe is let through;
+//             success closes the breaker, failure re-opens it for
+//             another `open_ms`.
+//
+// Time is passed in (steady-clock nanoseconds) rather than read, so the
+// state machine unit-tests deterministically without sleeping. The
+// record_* methods return whether the call *transitioned* the breaker
+// (closed->open, or anything->closed), so the caller logs backend_down /
+// backend_up exactly once per edge, never per failure.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace qbss::route {
+
+struct BreakerConfig {
+  int failure_threshold = 3;  ///< consecutive failures that trip it open
+  double open_ms = 2000.0;    ///< cooldown before the half-open probe
+};
+
+class Breaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit Breaker(BreakerConfig config) : config_(config) {
+    if (config_.failure_threshold < 1) config_.failure_threshold = 1;
+    if (config_.open_ms < 0.0) config_.open_ms = 0.0;
+  }
+
+  /// Whether a request may be sent now. Closed: always. Open: no until
+  /// the cooldown elapses, then exactly one caller gets the half-open
+  /// probe slot (the next gets it again only after the probe reports).
+  [[nodiscard]] bool allow(std::int64_t now_ns);
+
+  /// Reports a successful call. Returns true when this closed an open
+  /// or half-open breaker (the backend_up edge).
+  bool record_success(std::int64_t now_ns);
+
+  /// Reports a failed call. Returns true when this tripped a closed
+  /// breaker open (the backend_down edge); a half-open probe failure
+  /// re-opens silently — the backend was already down.
+  bool record_failure(std::int64_t now_ns);
+
+  /// The state an observer sees at `now_ns` (an elapsed cooldown reads
+  /// as half-open even before anyone claims the probe slot).
+  [[nodiscard]] State state(std::int64_t now_ns) const;
+
+  /// Consecutive failures since the last success (diagnostics).
+  [[nodiscard]] int failures() const;
+
+ private:
+  [[nodiscard]] std::int64_t open_ns() const noexcept {
+    return static_cast<std::int64_t>(config_.open_ms * 1e6);
+  }
+
+  BreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  std::int64_t open_until_ns_ = 0;
+  bool probe_inflight_ = false;
+};
+
+/// "closed" / "open" / "half_open".
+[[nodiscard]] const char* breaker_state_name(Breaker::State state) noexcept;
+
+}  // namespace qbss::route

@@ -1,0 +1,90 @@
+#include "route/ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qbss::route {
+
+namespace {
+
+/// splitmix64 finalizer — breaks up FNV's byte-serial structure so
+/// vnode points spread uniformly over the full 64-bit circle.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t HashRing::key_hash(std::string_view key) noexcept {
+  return mix64(fnv1a(key));
+}
+
+HashRing::HashRing(std::vector<std::pair<std::string, double>> nodes) {
+  // Name-sort first: node indices, vnode tie-breaks and therefore the
+  // whole mapping become independent of the input order.
+  std::sort(nodes.begin(), nodes.end());
+  names_.reserve(nodes.size());
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    const auto& [name, weight] = nodes[i];
+    names_.push_back(name);
+    const double scaled = weight * static_cast<double>(kVnodesPerWeight);
+    const std::size_t vnodes =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(scaled)));
+    for (std::size_t r = 0; r < vnodes; ++r) {
+      // The point depends only on (name, replica ordinal): stable across
+      // platforms, processes, and whatever else lives in the topology.
+      points_.push_back(
+          Vnode{key_hash(name + "#" + std::to_string(r)), i});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [this](const Vnode& a, const Vnode& b) {
+              if (a.point != b.point) return a.point < b.point;
+              return names_[a.node] < names_[b.node];
+            });
+}
+
+std::size_t HashRing::lower_vnode(std::uint64_t hash) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Vnode& v, std::uint64_t h) { return v.point < h; });
+  if (it == points_.end()) return 0;  // wrap
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+std::size_t HashRing::primary(std::uint64_t hash) const {
+  return points_[lower_vnode(hash)].node;
+}
+
+std::vector<std::size_t> HashRing::successors(std::uint64_t hash,
+                                              std::size_t count) const {
+  std::vector<std::size_t> out;
+  if (empty() || count == 0 || names_.size() < 2) return out;
+  const std::size_t start = lower_vnode(hash);
+  const std::size_t owner = points_[start].node;
+  std::vector<bool> seen(names_.size(), false);
+  seen[owner] = true;
+  for (std::size_t step = 1; step < points_.size(); ++step) {
+    const std::uint32_t node =
+        points_[(start + step) % points_.size()].node;
+    if (seen[node]) continue;
+    seen[node] = true;
+    out.push_back(node);
+    if (out.size() == count) break;
+  }
+  return out;
+}
+
+}  // namespace qbss::route

@@ -1,0 +1,98 @@
+#include "route/topology.hpp"
+
+#include <fstream>
+#include <istream>
+#include <set>
+#include <sstream>
+
+namespace qbss::route {
+
+std::vector<std::pair<std::string, double>> Topology::ring_nodes() const {
+  std::vector<std::pair<std::string, double>> nodes;
+  nodes.reserve(backends.size());
+  for (const BackendSpec& b : backends) {
+    nodes.emplace_back(b.name, b.weight);
+  }
+  return nodes;
+}
+
+bool parse_topology(std::istream& in, Topology* out, std::string* error) {
+  out->backends.clear();
+  std::set<std::string> names;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    BackendSpec spec;
+    std::string addr;
+    if (!(fields >> spec.name)) continue;  // blank or comment-only line
+    if (!(fields >> addr)) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) +
+                 ": want \"name addr [weight]\", got only a name";
+      }
+      return false;
+    }
+    if (std::string weight_text; fields >> weight_text) {
+      try {
+        spec.weight = std::stod(weight_text);
+      } catch (...) {
+        spec.weight = 0.0;
+      }
+      if (!(spec.weight > 0.0)) {
+        if (error) {
+          *error = "line " + std::to_string(line_no) + ": bad weight \"" +
+                   weight_text + "\" (want a positive number)";
+        }
+        return false;
+      }
+    }
+    if (std::string extra; fields >> extra) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) +
+                 ": trailing token \"" + extra + "\"";
+      }
+      return false;
+    }
+    std::string addr_error;
+    if (!svc::parse_endpoint(addr, &spec.endpoint, &addr_error)) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": " + addr_error;
+      }
+      return false;
+    }
+    if (!names.insert(spec.name).second) {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": duplicate backend \"" +
+                 spec.name + "\"";
+      }
+      return false;
+    }
+    out->backends.push_back(std::move(spec));
+  }
+  if (out->backends.empty()) {
+    if (error) *error = "topology declares no backends";
+    return false;
+  }
+  return true;
+}
+
+bool load_topology_file(const std::string& path, Topology* out,
+                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open topology file " + path;
+    return false;
+  }
+  if (!parse_topology(in, out, error)) {
+    if (error) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qbss::route

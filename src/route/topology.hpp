@@ -1,0 +1,51 @@
+// qbss::route topology — the static fleet description behind
+// `qbss route --topology FILE`.
+//
+// Grammar (docs/ROUTING.md): one backend per line,
+//
+//     name addr [weight]
+//
+// whitespace-separated. `name` is the backend's ring identity (what the
+// hash ring and the stats breakdown key on); `addr` is any spelling
+// svc::parse_endpoint accepts (`unix:PATH`, `/path`, `host:port`, bare
+// port); `weight` is a positive real, default 1. Blank lines and
+// everything after '#' are ignored. Names must be unique — the ring's
+// determinism rests on the name, so two backends sharing one would
+// silently shadow each other.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svc/endpoint.hpp"
+
+namespace qbss::route {
+
+/// One backend as declared in the topology file.
+struct BackendSpec {
+  std::string name;
+  svc::Endpoint endpoint;
+  double weight = 1.0;
+};
+
+struct Topology {
+  std::vector<BackendSpec> backends;
+
+  /// The (name, weight) list a HashRing is built from.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> ring_nodes()
+      const;
+};
+
+/// Parses topology text. False + *error (with a line number) on a
+/// malformed line, a bad address, a non-positive weight, a duplicate
+/// name, or no backends at all.
+[[nodiscard]] bool parse_topology(std::istream& in, Topology* out,
+                                  std::string* error);
+
+/// Reads and parses a topology file.
+[[nodiscard]] bool load_topology_file(const std::string& path, Topology* out,
+                                      std::string* error);
+
+}  // namespace qbss::route

@@ -59,6 +59,11 @@ bool Client::connect_unix(const std::string& path, std::string* error) {
 }
 
 bool Client::connect_tcp(int port, std::string* error) {
+  return connect_tcp(std::string(), port, error);
+}
+
+bool Client::connect_tcp(const std::string& host, int port,
+                         std::string* error) {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
@@ -68,12 +73,18 @@ bool Client::connect_tcp(int port, std::string* error) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad host \"" + host + "\" (want an IPv4 literal)";
+    close();
+    return false;
+  }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
       0) {
     if (error) {
-      *error = "connect 127.0.0.1:" + std::to_string(port) + ": " +
-               std::strerror(errno);
+      *error = "connect " + (host.empty() ? std::string("127.0.0.1") : host) +
+               ":" + std::to_string(port) + ": " + std::strerror(errno);
     }
     close();
     return false;
@@ -86,7 +97,9 @@ bool Client::connect(const Endpoint& endpoint, std::string* error) {
   if (!endpoint.socket_path.empty()) {
     return connect_unix(endpoint.socket_path, error);
   }
-  if (endpoint.tcp_port != 0) return connect_tcp(endpoint.tcp_port, error);
+  if (endpoint.tcp_port != 0) {
+    return connect_tcp(endpoint.host, endpoint.tcp_port, error);
+  }
   if (error) *error = "empty endpoint";
   return false;
 }

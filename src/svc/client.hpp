@@ -6,16 +6,10 @@
 #include <cstdint>
 #include <string>
 
+#include "svc/endpoint.hpp"
 #include "svc/protocol.hpp"
 
 namespace qbss::svc {
-
-/// Where a server lives: a Unix-domain socket path, or (when the path
-/// is empty) 127.0.0.1:`tcp_port`.
-struct Endpoint {
-  std::string socket_path;
-  int tcp_port = 0;
-};
 
 /// One framed connection. Not thread-safe; use one Client per thread.
 class Client {
@@ -31,6 +25,10 @@ class Client {
 
   /// Connects to 127.0.0.1:`port`.
   [[nodiscard]] bool connect_tcp(int port, std::string* error);
+
+  /// Connects to `host`:`port` (an IPv4 literal; "" = 127.0.0.1).
+  [[nodiscard]] bool connect_tcp(const std::string& host, int port,
+                                 std::string* error);
 
   /// Connects to whichever transport `endpoint` names.
   [[nodiscard]] bool connect(const Endpoint& endpoint, std::string* error);

@@ -1,0 +1,89 @@
+#include "svc/endpoint.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace qbss::svc {
+
+namespace {
+
+bool all_digits(const std::string& text) {
+  return !text.empty() &&
+         std::all_of(text.begin(), text.end(), [](unsigned char c) {
+           return std::isdigit(c) != 0;
+         });
+}
+
+bool parse_port(const std::string& text, int* port, std::string* error) {
+  if (!all_digits(text) || text.size() > 5) {
+    if (error) *error = "bad port \"" + text + "\"";
+    return false;
+  }
+  const long value = std::strtol(text.c_str(), nullptr, 10);
+  if (value < 1 || value > 65535) {
+    if (error) *error = "port " + text + " out of range [1, 65535]";
+    return false;
+  }
+  *port = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+bool parse_endpoint(const std::string& text, Endpoint* out,
+                    std::string* error) {
+  *out = Endpoint{};
+  if (text.empty()) {
+    if (error) *error = "empty endpoint";
+    return false;
+  }
+  if (text.rfind("unix:", 0) == 0) {
+    out->socket_path = text.substr(5);
+    if (out->socket_path.empty()) {
+      if (error) *error = "empty socket path in \"" + text + "\"";
+      return false;
+    }
+    return true;
+  }
+  if (text[0] == '/') {
+    out->socket_path = text;
+    return true;
+  }
+  if (all_digits(text)) return parse_port(text, &out->tcp_port, error);
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    if (error) {
+      *error = "bad endpoint \"" + text +
+               "\" (want unix:PATH, /path, host:port, or a bare port)";
+    }
+    return false;
+  }
+  std::string host = text.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  in_addr parsed{};
+  if (host.empty() || ::inet_pton(AF_INET, host.c_str(), &parsed) != 1) {
+    if (error) {
+      *error = "bad host \"" + text.substr(0, colon) +
+               "\" (want an IPv4 literal or localhost)";
+    }
+    return false;
+  }
+  if (!parse_port(text.substr(colon + 1), &out->tcp_port, error)) {
+    return false;
+  }
+  if (host != "127.0.0.1") out->host = std::move(host);
+  return true;
+}
+
+std::string endpoint_to_string(const Endpoint& endpoint) {
+  if (!endpoint.socket_path.empty()) return "unix:" + endpoint.socket_path;
+  if (endpoint.tcp_port == 0) return "";
+  return (endpoint.host.empty() ? std::string("127.0.0.1") : endpoint.host) +
+         ":" + std::to_string(endpoint.tcp_port);
+}
+
+}  // namespace qbss::svc

@@ -1,0 +1,39 @@
+// qbss::svc endpoint — where a server (or a router) lives, plus the one
+// place its textual spelling is parsed.
+//
+// Two transports exist: a Unix-domain socket path, and loopback IPv4
+// TCP. The text grammar accepted by parse_endpoint covers every spelling
+// the tools take (`--socket`/`--tcp` pairs funnel through the struct;
+// `--targets` lists and topology files funnel through the parser):
+//
+//     unix:PATH        Unix-domain socket at PATH
+//     /absolute/path   shorthand for the same (leading '/')
+//     HOST:PORT        IPv4 TCP; HOST is a dotted quad or "localhost"
+//     PORT             shorthand for 127.0.0.1:PORT (all digits)
+//
+// The service binds loopback only, so HOST is validated as an IPv4
+// literal — no DNS lookups, no surprise egress from a test run.
+#pragma once
+
+#include <string>
+
+namespace qbss::svc {
+
+/// Where a server lives: a Unix-domain socket path, or (when the path
+/// is empty) `host`:`tcp_port` — with an empty host meaning 127.0.0.1.
+struct Endpoint {
+  std::string socket_path;
+  std::string host;  ///< IPv4 literal; "" = 127.0.0.1
+  int tcp_port = 0;
+};
+
+/// Parses the textual endpoint grammar above. False + *error on an
+/// empty spec, a malformed host, or a port outside [1, 65535].
+[[nodiscard]] bool parse_endpoint(const std::string& text, Endpoint* out,
+                                  std::string* error);
+
+/// Canonical spelling of `endpoint` ("unix:PATH" or "host:port"),
+/// parseable back through parse_endpoint. Empty endpoints render "".
+[[nodiscard]] std::string endpoint_to_string(const Endpoint& endpoint);
+
+}  // namespace qbss::svc

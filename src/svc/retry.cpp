@@ -81,6 +81,7 @@ bool RetryingClient::call(const Request& request, Client::Reply* reply,
       }
       was_connected_ = true;
     }
+    if (pinned_trace_id_ != 0) client_.set_next_trace_id(pinned_trace_id_);
     if (client_.call(request, reply, &last_error)) return true;
     // Transport failure: the stream may hold half a frame, so the only
     // safe continuation is a fresh connection.

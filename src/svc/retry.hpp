@@ -54,6 +54,12 @@ class RetryingClient {
 
   void close() { client_.close(); }
 
+  /// Pins the trace id stamped into every attempt of every later call
+  /// (0 restores auto-generated ids). Unlike Client's one-shot pin this
+  /// survives retries — a proxy propagating its caller's id must stamp
+  /// the same id into the replayed attempt, not a fresh one.
+  void pin_trace_id(std::uint64_t id) noexcept { pinned_trace_id_ = id; }
+
   /// Attempts beyond each call's first (the loadgen reports these).
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
   /// Successful re-connects after a transport failure.
@@ -78,6 +84,7 @@ class RetryingClient {
   Endpoint endpoint_;
   RetryPolicy policy_;
   Client client_;
+  std::uint64_t pinned_trace_id_ = 0;
   Xoshiro256 rng_;
   double prev_backoff_ms_;
   bool was_connected_ = false;

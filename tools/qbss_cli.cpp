@@ -11,6 +11,9 @@
 //   qbss bounds [--alpha A]                       print Table 1 bounds
 //   qbss serve --socket PATH [--tcp PORT] ...     resident scheduling
 //                                                 service (docs/SERVICE.md)
+//   qbss route --topology FILE --socket PATH ...  consistent-hash router
+//                                                 fronting a backend fleet
+//                                                 (docs/ROUTING.md)
 //   qbss scrape --socket PATH|--tcp PORT          fetch one stats frame
 //             [--format json|prometheus]          from a running server
 //   qbss top  --socket PATH|--tcp PORT            live per-interval rate
@@ -71,6 +74,8 @@
 #include "qbss/crcd.hpp"
 #include "qbss/crp2d.hpp"
 #include "qbss/oaq.hpp"
+#include "route/router.hpp"
+#include "route/topology.hpp"
 #include "svc/client.hpp"
 #include "svc/server.hpp"
 
@@ -85,8 +90,8 @@ using tools::parse_options;
 int usage() {
   std::fprintf(stderr,
                "usage: qbss "
-               "<gen|run|opt|stats|bounds|serve|scrape|top|obs-diff|logs> "
-               "[--options]\n"
+               "<gen|run|opt|stats|bounds|serve|route|scrape|top|obs-diff|"
+               "logs> [--options]\n"
                "  gen    --family mixed|compression|optimizer|common|pow2 "
                "[--n N] [--seed S]\n"
                "  run    --algo crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m "
@@ -136,20 +141,46 @@ int usage() {
                "qbss-loadgen); writes\n"
                "         BENCH_svc.json at shutdown (--manifest "
                "overrides the path)\n"
+               "  route  --topology FILE --socket PATH [--tcp PORT]\n"
+               "         [--replicas R] [--hot-threshold N] "
+               "[--health-interval-ms X]\n"
+               "         [--breaker-failures N] [--breaker-open-ms X]\n"
+               "         [--backend-timeout-ms X] [--backend-retries N] "
+               "[--pool N]\n"
+               "         [--read-timeout-ms X] [--write-timeout-ms X]\n"
+               "         [--stats-interval-ms X] [--stats-ring N] "
+               "[--faults PLAN]\n"
+               "         [--flight FILE]\n"
+               "         consistent-hash router fronting a backend fleet "
+               "(see\n"
+               "         docs/ROUTING.md); the topology file lists one\n"
+               "         \"name addr [weight]\" line per backend; writes\n"
+               "         BENCH_route.json at shutdown (--manifest "
+               "overrides)\n"
+               "           --replicas R       ring successors hot keys "
+               "replicate to\n"
+               "           --hot-threshold N  hits at which a key turns "
+               "hot (0 = off)\n"
                "  scrape --socket PATH | --tcp PORT [--format "
                "json|prometheus]\n"
-               "         [--timeout-ms X]\n"
-               "         fetch one stats frame from a running server to "
-               "stdout\n"
-               "         (prometheus = text exposition ready for a "
+               "         [--timeout-ms X] [--backends]\n"
+               "         fetch one stats frame from a running server or "
+               "router to\n"
+               "         stdout (prometheus = text exposition ready for a "
                "scraper)\n"
+               "           --backends  render the router's per-backend "
+               "table instead\n"
+               "                       of the raw frame\n"
                "  top    --socket PATH | --tcp PORT [--interval-ms X] "
                "[--count N]\n"
                "         [--timeout-ms X] [--frames-out FILE]\n"
                "         [--expect-monotone] [--expect-active]\n"
                "         poll stats frames and print a live rate table "
                "(req/s, hit%%,\n"
-               "         shed/s, latency percentiles); ctrl-C to stop\n"
+               "         shed/s, latency percentiles); ctrl-C to stop; "
+               "against a\n"
+               "         router target also reports per-backend state "
+               "changes\n"
                "           --count N          stop after N polls "
                "(N-1 table rows)\n"
                "           --frames-out FILE  append each raw JSON frame "
@@ -457,6 +488,97 @@ int cmd_serve(const Options& opts) {
   return 0;
 }
 
+int cmd_route(const Options& opts) {
+  route::RouterConfig cfg;
+  cfg.socket_path = opts.get("socket", "");
+  cfg.tcp_port = static_cast<int>(opts.number("tcp", 0));
+  if (cfg.socket_path.empty() && cfg.tcp_port == 0) {
+    std::fprintf(stderr, "route needs --socket PATH and/or --tcp PORT\n");
+    return 2;
+  }
+  const std::string topology_path = opts.get("topology", "");
+  if (topology_path.empty()) {
+    std::fprintf(stderr, "route needs --topology FILE\n");
+    return 2;
+  }
+  std::string error;
+  if (!route::load_topology_file(topology_path, &cfg.topology, &error)) {
+    std::fprintf(stderr, "route: %s\n", error.c_str());
+    return 2;
+  }
+  cfg.replicas = static_cast<std::size_t>(opts.number("replicas", 1));
+  cfg.hot_threshold =
+      static_cast<std::uint64_t>(opts.number("hot-threshold", 16));
+  cfg.health_interval_ms = opts.number("health-interval-ms", 500.0);
+  cfg.breaker_failures =
+      static_cast<int>(opts.number("breaker-failures", 3));
+  cfg.breaker_open_ms = opts.number("breaker-open-ms", 2000.0);
+  cfg.backend_timeout_ms = opts.number("backend-timeout-ms", 5000.0);
+  cfg.backend_retries = static_cast<int>(opts.number("backend-retries", 2));
+  cfg.pool_capacity = static_cast<std::size_t>(opts.number("pool", 8));
+  cfg.read_timeout_ms = opts.number("read-timeout-ms", 30000.0);
+  cfg.write_timeout_ms = opts.number("write-timeout-ms", 10000.0);
+  cfg.stats_interval_ms = opts.number("stats-interval-ms", 1000.0);
+  cfg.stats_ring = static_cast<std::size_t>(opts.number("stats-ring", 8));
+  cfg.manifest_path = opts.get("manifest", "BENCH_route.json");
+  cfg.flight_path = opts.get("flight", "");
+  cfg.external_stop = &g_stop_requested;
+  cfg.manifest_extra.emplace_back("topology", topology_path);
+
+  if (!cfg.flight_path.empty()) obs::set_flight_path(cfg.flight_path);
+  obs::install_crash_handler();
+
+  std::string fault_plan = opts.get("faults", "");
+  if (fault_plan.empty()) {
+    if (const char* env = std::getenv("QBSS_FAULTS")) fault_plan = env;
+  }
+  if (!fault_plan.empty()) {
+#ifdef QBSS_FAULTS_OFF
+    std::fprintf(stderr,
+                 "route: fault plan \"%s\" requested but this binary was "
+                 "built with -DQBSS_FAULTS=OFF\n",
+                 fault_plan.c_str());
+    return 2;
+#else
+    faults::FaultPlan plan;
+    std::string plan_error;
+    if (!faults::parse_plan(fault_plan, &plan, &plan_error)) {
+      std::fprintf(stderr, "route: bad fault plan: %s\n",
+                   plan_error.c_str());
+      return 2;
+    }
+    faults::injector().configure(plan);
+    cfg.manifest_extra.emplace_back("fault_plan", fault_plan);
+    std::fprintf(stderr, "[route] fault injection active: %s\n",
+                 fault_plan.c_str());
+#endif
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  const std::string socket_path = cfg.socket_path;
+  const int tcp_port = cfg.tcp_port;
+  const std::size_t fleet = cfg.topology.backends.size();
+  route::Router router(std::move(cfg));
+  if (!router.start(&error)) {
+    std::fprintf(stderr, "route: %s\n", error.c_str());
+    return 1;
+  }
+  if (!socket_path.empty()) {
+    std::fprintf(stderr, "[route] listening on %s\n", socket_path.c_str());
+  }
+  if (tcp_port != 0) {
+    std::fprintf(stderr, "[route] listening on 127.0.0.1:%d\n", tcp_port);
+  }
+  std::fprintf(stderr, "[route] fronting %zu backend(s) from %s\n", fleet,
+               topology_path.c_str());
+  router.wait();
+  std::fprintf(stderr, "[route] shut down after %llu responses\n",
+               static_cast<unsigned long long>(router.responses()));
+  return 0;
+}
+
 /// Parses the --socket/--tcp pair shared by scrape and top. False (with
 /// a message) when neither is given.
 bool stats_endpoint(const Options& opts, const char* command,
@@ -486,9 +608,33 @@ int cmd_scrape(const Options& opts) {
     return 1;
   }
   svc::Client::Reply reply;
-  if (!client.stats(format, &reply, &error)) {
+  const bool backends = opts.flag("backends");
+  if (!client.stats(backends ? "json" : format, &reply, &error)) {
     std::fprintf(stderr, "scrape: %s\n", error.c_str());
     return 1;
+  }
+  if (backends) {
+    // Render the router's per-backend extras ("backend.<name>" keys) as
+    // a table; a plain server frame has none.
+    const std::optional<obs::StatsData> frame =
+        obs::parse_stats_json(reply.payload, &error);
+    if (!frame) {
+      std::fprintf(stderr, "scrape: bad stats frame: %s\n", error.c_str());
+      return 1;
+    }
+    std::size_t printed = 0;
+    for (const auto& [key, value] : frame->extra) {
+      if (key.rfind("backend.", 0) != 0) continue;
+      std::printf("%-12s %s\n", key.c_str() + 8, value.c_str());
+      ++printed;
+    }
+    if (printed == 0) {
+      std::fprintf(stderr,
+                   "scrape: no per-backend stats in the frame (not a "
+                   "router target?)\n");
+      return 1;
+    }
+    return 0;
   }
   std::fwrite(reply.payload.data(), 1, reply.payload.size(), stdout);
   return 0;
@@ -533,15 +679,28 @@ int cmd_top(const Options& opts) {
     return it == table.end() ? fallback : it->second.c_str();
   };
   // Solve traffic excludes the frames top itself generates (stats) and
-  // pings, so req/s here matches what the loadgen reports.
+  // pings, so req/s here matches what the loadgen reports. A router
+  // target counts under route.* instead of svc.*; summing both keeps
+  // one code path (a process is either a server or a router, so one
+  // family is always zero).
+  const auto requests = [&](const std::map<std::string, double>& t) {
+    return counter(t, "svc.requests") + counter(t, "route.requests");
+  };
   const auto solve_traffic = [&](const std::map<std::string, double>& t) {
-    return counter(t, "svc.requests") - counter(t, "svc.pings") -
-           counter(t, "svc.stats.requests");
+    return requests(t) - counter(t, "svc.pings") -
+           counter(t, "route.pings") - counter(t, "svc.stats.requests") -
+           counter(t, "route.stats.requests");
+  };
+  const auto hit_total = [&](const std::map<std::string, double>& t) {
+    return counter(t, "svc.hit.zero_copy") + counter(t, "route.hit");
   };
   const auto shed_total = [](const std::map<std::string, double>& table) {
     double total = 0.0;
     for (const auto& [name, value] : table) {
-      if (name.rfind("svc.shed.", 0) == 0) total += value;
+      if (name.rfind("svc.shed.", 0) == 0 ||
+          name.rfind("route.shed.", 0) == 0) {
+        total += value;
+      }
     }
     return total;
   };
@@ -551,6 +710,10 @@ int cmd_top(const Options& opts) {
   bool monotone_ok = true;
   bool saw_active = false;
   int rows = 0;
+  // Router targets carry per-backend extras; report each one on connect
+  // and again whenever its rendered state changes (a kill/restart shows
+  // up as two lines).
+  std::map<std::string, std::string> backend_state;
   for (int poll = 0; count == 0 || poll < count; ++poll) {
     if (g_stop_requested.load()) break;
     if (poll > 0) {
@@ -575,10 +738,21 @@ int cmd_top(const Options& opts) {
       return 1;
     }
     if (!have_prev) {
-      std::fprintf(
-          stderr, "[top] connected: uptime=%.1fs workers=%s queue_depth=%s\n",
-          frame->uptime_seconds, extra_or(frame->extra, "workers", "?"),
-          extra_or(frame->extra, "queue_depth", "?"));
+      if (std::string(extra_or(frame->extra, "role", "")) == "route") {
+        std::fprintf(stderr,
+                     "[top] connected to router: uptime=%.1fs backends=%s "
+                     "replicas=%s hot_keys=%s\n",
+                     frame->uptime_seconds,
+                     extra_or(frame->extra, "backends", "?"),
+                     extra_or(frame->extra, "replicas", "?"),
+                     extra_or(frame->extra, "hot_keys", "?"));
+      } else {
+        std::fprintf(
+            stderr,
+            "[top] connected: uptime=%.1fs workers=%s queue_depth=%s\n",
+            frame->uptime_seconds, extra_or(frame->extra, "workers", "?"),
+            extra_or(frame->extra, "queue_depth", "?"));
+      }
     } else {
       for (const auto& [name, value] : prev.lifetime.counters) {
         if (counter(frame->lifetime.counters, name.c_str()) < value) {
@@ -589,23 +763,23 @@ int cmd_top(const Options& opts) {
       }
       const double dt = frame->uptime_seconds - prev.uptime_seconds;
       const double seconds = dt > 0.0 ? dt : 1.0;
-      const double reqs = counter(frame->lifetime.counters, "svc.requests") -
-                          counter(prev.lifetime.counters, "svc.requests");
+      const double reqs = requests(frame->lifetime.counters) -
+                          requests(prev.lifetime.counters);
       const double solves =
           solve_traffic(frame->lifetime.counters) -
           solve_traffic(prev.lifetime.counters);
-      const double hits =
-          counter(frame->lifetime.counters, "svc.hit.zero_copy") -
-          counter(prev.lifetime.counters, "svc.hit.zero_copy");
+      const double hits = hit_total(frame->lifetime.counters) -
+                          hit_total(prev.lifetime.counters);
       const double sheds = shed_total(frame->lifetime.counters) -
                            shed_total(prev.lifetime.counters);
       if (solves > 0.0) saw_active = true;
 
       obs::HistogramSummary latency;
-      if (const auto it = frame->window.histograms.find("svc.latency_us");
-          it != frame->window.histograms.end()) {
-        latency = it->second;
+      auto it = frame->window.histograms.find("svc.latency_us");
+      if (it == frame->window.histograms.end()) {
+        it = frame->window.histograms.find("route.latency_us");
       }
+      if (it != frame->window.histograms.end()) latency = it->second;
       if (rows % 20 == 0) {
         std::printf("%8s %9s %9s %6s %8s %9s %9s %6s %5s\n", "up(s)",
                     "req/s", "solve/s", "hit%", "shed/s", "p50(us)",
@@ -621,6 +795,27 @@ int cmd_top(const Options& opts) {
       std::fflush(stdout);
       ++rows;
     }
+    // Per-backend lines: full detail on connect, then only breaker-state
+    // edges (forwarded counts move every poll and would drown the table).
+    for (const auto& [key, value] : frame->extra) {
+      if (key.rfind("backend.", 0) != 0) continue;
+      std::string state = value;
+      if (const std::size_t pos = value.find("state=");
+          pos != std::string::npos) {
+        const std::size_t end = value.find(' ', pos);
+        state = value.substr(pos, end == std::string::npos
+                                      ? std::string::npos
+                                      : end - pos);
+      }
+      auto [it_state, inserted] = backend_state.try_emplace(key, state);
+      if (inserted) {
+        std::fprintf(stderr, "[top] %s: %s\n", key.c_str(), value.c_str());
+      } else if (it_state->second != state) {
+        std::fprintf(stderr, "[top] %s: %s -> %s\n", key.c_str(),
+                     it_state->second.c_str(), state.c_str());
+        it_state->second = state;
+      }
+    }
     prev = *frame;
     have_prev = true;
   }
@@ -630,11 +825,12 @@ int cmd_top(const Options& opts) {
         stderr,
         "[top] final: uptime=%.1fs requests=%.0f solves=%.0f hits=%.0f "
         "shed=%.0f errors=%.0f\n",
-        prev.uptime_seconds, counter(prev.lifetime.counters, "svc.requests"),
+        prev.uptime_seconds, requests(prev.lifetime.counters),
         solve_traffic(prev.lifetime.counters),
-        counter(prev.lifetime.counters, "svc.hit.zero_copy"),
+        hit_total(prev.lifetime.counters),
         shed_total(prev.lifetime.counters),
-        counter(prev.lifetime.counters, "svc.errors"));
+        counter(prev.lifetime.counters, "svc.errors") +
+            counter(prev.lifetime.counters, "route.errors"));
   }
   int rc = 0;
   if (expect_monotone && !monotone_ok) {
@@ -848,8 +1044,8 @@ int cmd_logs(const Options& opts) {
 /// The [obs] report: a one-line manifest summary plus the final counter
 /// and histogram snapshots, on stderr so piped stdout output stays clean.
 /// With --manifest FILE the same manifest is also written as JSON —
-/// except for `serve`, whose Server already wrote a richer one (config +
-/// response counts) to the same path at shutdown.
+/// except for `serve` and `route`, whose Server/Router already wrote a
+/// richer one (config + response counts) to the same path at shutdown.
 void report(const std::string& command, const Options& opts) {
   obs::Manifest manifest = obs::current_manifest();
   manifest.threads = common::worker_count();
@@ -873,7 +1069,7 @@ void report(const std::string& command, const Options& opts) {
                    h.min, h.max, h.p50, h.p90, h.p99);
     }
   }
-  if (command == "serve") return;
+  if (command == "serve" || command == "route") return;
   if (const std::string path = opts.get("manifest", ""); !path.empty()) {
     if (std::ofstream out(path); out) {
       io::write_json_manifest(out, manifest);
@@ -891,6 +1087,7 @@ int dispatch(const std::string& command, const Options& opts) {
   if (command == "stats") return cmd_stats(opts);
   if (command == "bounds") return cmd_bounds(opts);
   if (command == "serve") return cmd_serve(opts);
+  if (command == "route") return cmd_route(opts);
   if (command == "scrape") return cmd_scrape(opts);
   if (command == "top") return cmd_top(opts);
   if (command == "obs-diff") return cmd_obs_diff(opts);

@@ -1,6 +1,7 @@
 // qbss-loadgen — open/closed-loop load generator for `qbss serve`.
 //
 //   qbss-loadgen --socket PATH [--connections C] [--requests N]
+//                [--targets A,B,C] [--zipf S]
 //                [--qps Q --duration S] [--family F] [--n J] [--seeds K]
 //                [--algo A] [--alpha X] [--deadline-ms D] [--validate]
 //                [--timeout-ms T] [--retries R] [--chaos]
@@ -26,9 +27,17 @@
 // retries instead of errors; --chaos flips the retry defaults to values
 // that ride out an aggressive fault plan, and --expect-retries gates a
 // chaos run on the faults actually having fired.
+//
+// --targets A,B,C spreads the connections round-robin across several
+// endpoints (each in the `unix:PATH` / `host:port` grammar of
+// svc::parse_endpoint) — servers or routers alike. --zipf S swaps the
+// uniform round-robin key mix for a Zipf(S) draw over the pool, so a
+// few keys dominate; that is the knob that exercises a router's hot-key
+// replication (docs/ROUTING.md).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -98,6 +107,9 @@ struct RunState {
   std::vector<std::string> keys;  ///< cache key per pool entry
   double alpha = 3.0;
   bool validate = false;
+  /// Non-empty under --zipf S: CDF over the pool, p(i) proportional to
+  /// 1/(i+1)^S. Empty = uniform round-robin.
+  std::vector<double> zipf_cdf;
 
   std::atomic<std::size_t> next_index{0};
   std::atomic<std::uint64_t> sent{0};
@@ -161,9 +173,32 @@ void check_response(RunState& state, std::size_t pool_index,
   }
 }
 
-void issue_one(RunState& state, svc::RetryingClient& client) {
-  const std::size_t index =
-      state.next_index.fetch_add(1) % state.pool.size();
+std::uint64_t splitmix64(std::uint64_t* s) {
+  *s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = *s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Picks the next pool index: global round-robin by default, a Zipf
+/// draw from the per-thread RNG under --zipf.
+std::size_t pick_index(RunState& state, std::uint64_t* rng) {
+  if (state.zipf_cdf.empty()) {
+    return state.next_index.fetch_add(1) % state.pool.size();
+  }
+  const double u =
+      static_cast<double>(splitmix64(rng) >> 11) * 0x1.0p-53;
+  const auto it =
+      std::lower_bound(state.zipf_cdf.begin(), state.zipf_cdf.end(), u);
+  return std::min(
+      static_cast<std::size_t>(it - state.zipf_cdf.begin()),
+      state.pool.size() - 1);
+}
+
+void issue_one(RunState& state, svc::RetryingClient& client,
+               std::uint64_t* rng) {
+  const std::size_t index = pick_index(state, rng);
   const Clock::time_point start = Clock::now();
   svc::Client::Reply reply;
   std::string error;
@@ -201,20 +236,24 @@ void issue_one(RunState& state, svc::RetryingClient& client) {
 
 /// Closed loop: `requests` back-to-back calls.
 void closed_loop(RunState& state, svc::RetryingClient& client,
-                 std::size_t requests) {
-  for (std::size_t i = 0; i < requests; ++i) issue_one(state, client);
+                 std::size_t requests, std::uint64_t rng_seed) {
+  std::uint64_t rng = rng_seed;
+  for (std::size_t i = 0; i < requests; ++i) {
+    issue_one(state, client, &rng);
+  }
 }
 
 /// Paced loop: one call every `interval` (catching up if a response
 /// arrived late), until `stop_at`.
 void paced_loop(RunState& state, svc::RetryingClient& client,
                 std::chrono::duration<double> interval,
-                Clock::time_point stop_at) {
+                Clock::time_point stop_at, std::uint64_t rng_seed) {
+  std::uint64_t rng = rng_seed;
   Clock::time_point next = Clock::now();
   while (Clock::now() < stop_at) {
     std::this_thread::sleep_until(next);
     if (Clock::now() >= stop_at) break;
-    issue_one(state, client);
+    issue_one(state, client, &rng);
     next += std::chrono::duration_cast<Clock::duration>(interval);
     if (const Clock::time_point now = Clock::now(); next < now) next = now;
   }
@@ -223,7 +262,12 @@ void paced_loop(RunState& state, svc::RetryingClient& client,
 int usage() {
   std::fprintf(
       stderr,
-      "usage: qbss-loadgen (--socket PATH | --tcp PORT) [--options]\n"
+      "usage: qbss-loadgen (--socket PATH | --tcp PORT | --targets "
+      "A,B,C) [--options]\n"
+      "  --targets A,B,C   spread connections round-robin across several\n"
+      "                    endpoints (unix:PATH or host:port each); "
+      "overrides\n"
+      "                    --socket/--tcp\n"
       "  --connections C   concurrent connections (default 4)\n"
       "  --requests N      closed loop: requests per connection "
       "(default 50)\n"
@@ -236,6 +280,11 @@ int usage() {
       "  --seeds K         distinct instances in the pool (default 8; "
       "repeats\n"
       "                    drive the server's result cache)\n"
+      "  --zipf S          draw pool keys Zipf(S)-skewed instead of "
+      "round-robin\n"
+      "                    (0 = uniform; ~1 makes a few keys dominate, "
+      "driving a\n"
+      "                    router's hot-key replication)\n"
       "  --algo A          crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m|opt "
       "(default bkpq)\n"
       "  --alpha X         power exponent (default 3)\n"
@@ -276,10 +325,32 @@ int main(int argc, char** argv) {
   }
   tools::apply_thread_override(opts);
 
-  svc::Endpoint endpoint;
-  endpoint.socket_path = opts.get("socket", "");
-  endpoint.tcp_port = static_cast<int>(opts.number("tcp", 0));
-  if (endpoint.socket_path.empty() && endpoint.tcp_port == 0) return usage();
+  std::vector<svc::Endpoint> endpoints;
+  if (const std::string targets = opts.get("targets", "");
+      !targets.empty()) {
+    std::stringstream list(targets);
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      if (item.empty()) continue;
+      svc::Endpoint parsed;
+      std::string error;
+      if (!svc::parse_endpoint(item, &parsed, &error)) {
+        std::fprintf(stderr, "qbss-loadgen: --targets: %s\n",
+                     error.c_str());
+        return 2;
+      }
+      endpoints.push_back(std::move(parsed));
+    }
+  }
+  if (endpoints.empty()) {
+    svc::Endpoint endpoint;
+    endpoint.socket_path = opts.get("socket", "");
+    endpoint.tcp_port = static_cast<int>(opts.number("tcp", 0));
+    if (endpoint.socket_path.empty() && endpoint.tcp_port == 0) {
+      return usage();
+    }
+    endpoints.push_back(std::move(endpoint));
+  }
   const tools::RetryOptions retry = tools::parse_retry_options(opts);
 
   const std::size_t connections =
@@ -307,11 +378,23 @@ int main(int argc, char** argv) {
     state.keys.push_back(svc::cache_key(request));
     state.pool.push_back(std::move(request));
   }
+  const double zipf_s = opts.number("zipf", 0.0);
+  if (zipf_s > 0.0) {
+    double total = 0.0;
+    state.zipf_cdf.reserve(state.pool.size());
+    for (std::size_t i = 0; i < state.pool.size(); ++i) {
+      total += std::pow(static_cast<double>(i + 1), -zipf_s);
+      state.zipf_cdf.push_back(total);
+    }
+    for (double& p : state.zipf_cdf) p /= total;
+  }
 
-  {
+  for (const svc::Endpoint& endpoint : endpoints) {
     std::string error;
     if (!wait_for_server(endpoint, &error)) {
-      std::fprintf(stderr, "qbss-loadgen: %s\n", error.c_str());
+      std::fprintf(stderr, "qbss-loadgen: %s: %s\n",
+                   svc::endpoint_to_string(endpoint).c_str(),
+                   error.c_str());
       return 1;
     }
   }
@@ -322,8 +405,8 @@ int main(int argc, char** argv) {
     policy.max_retries = retry.retries;
     policy.attempt_timeout_ms = retry.timeout_ms;
     policy.jitter_seed = 0x10adULL + c;  // decorrelate across connections
-    clients.push_back(
-        std::make_unique<svc::RetryingClient>(endpoint, policy));
+    clients.push_back(std::make_unique<svc::RetryingClient>(
+        endpoints[c % endpoints.size()], policy));
   }
 
   // --progress: a reporter thread prints one summary line per tick,
@@ -377,11 +460,13 @@ int main(int argc, char** argv) {
           start + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(duration));
       threads.emplace_back([&state, &clients, c, interval, stop_at] {
-        paced_loop(state, *clients[c], interval, stop_at);
+        paced_loop(state, *clients[c], interval, stop_at,
+                   0x21f5ULL + c * 0x9e3779b9ULL);
       });
     } else {
       threads.emplace_back([&state, &clients, c, requests] {
-        closed_loop(state, *clients[c], requests);
+        closed_loop(state, *clients[c], requests,
+                    0x21f5ULL + c * 0x9e3779b9ULL);
       });
     }
   }
@@ -396,9 +481,26 @@ int main(int argc, char** argv) {
   if (opts.flag("shutdown")) {
     // The shutdown frame rides the retry loop too: a fault plan that
     // eats it must not leave the server running (CI would hang on it).
-    std::string error;
-    if (!clients[0]->shutdown_server(&error)) {
-      std::fprintf(stderr, "qbss-loadgen: shutdown: %s\n", error.c_str());
+    // With --targets every endpoint gets one (note a router forwards
+    // nothing here — shutdown stops the router itself).
+    for (std::size_t e = 0; e < endpoints.size(); ++e) {
+      std::string error;
+      std::unique_ptr<svc::RetryingClient> spare;
+      svc::RetryingClient* client;
+      if (e < connections) {
+        client = clients[e].get();
+      } else {
+        svc::RetryPolicy policy;
+        policy.max_retries = retry.retries;
+        policy.attempt_timeout_ms = retry.timeout_ms;
+        spare = std::make_unique<svc::RetryingClient>(endpoints[e], policy);
+        client = spare.get();
+      }
+      if (!client->shutdown_server(&error)) {
+        std::fprintf(stderr, "qbss-loadgen: shutdown %s: %s\n",
+                     svc::endpoint_to_string(endpoints[e]).c_str(),
+                     error.c_str());
+      }
     }
   }
 
@@ -465,6 +567,8 @@ int main(int argc, char** argv) {
     manifest.extra.emplace_back("command", "loadgen");
     manifest.extra.emplace_back("mode", qps > 0.0 ? "paced" : "closed");
     manifest.extra.emplace_back("connections", std::to_string(connections));
+    manifest.extra.emplace_back("targets", std::to_string(endpoints.size()));
+    manifest.extra.emplace_back("zipf_s", std::to_string(zipf_s));
     manifest.extra.emplace_back("family", family);
     manifest.extra.emplace_back("algo", opts.get("algo", "bkpq"));
     manifest.extra.emplace_back("timeout_ms",
