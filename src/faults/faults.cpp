@@ -81,6 +81,12 @@ const char* kind_name(FaultSpec::Kind kind) noexcept {
 }
 
 Site FaultSpec::site() const noexcept {
+  if (at_store) {
+    // Store retarget: read_short misses a record read; write_err,
+    // corrupt_header, delay and worker_stall all land on the append
+    // path (a failed, garbled, slow or stalled disk write).
+    return kind == Kind::kReadShort ? Site::kStoreRead : Site::kStoreWrite;
+  }
   switch (kind) {
     case Kind::kReadShort:
       return Site::kRead;
@@ -136,9 +142,23 @@ bool parse_plan(const std::string& text, FaultPlan* plan,
     std::string param;
     while (std::getline(tokens, param, ':')) {
       const std::size_t eq = param.find('=');
+      if (eq == std::string::npos) {
+        if (error) *error = "bad fault parameter: " + param;
+        return false;
+      }
+      // `at` takes a symbolic value; everything else is numeric.
+      if (param.substr(0, eq) == "at") {
+        const std::string where = param.substr(eq + 1);
+        if (where == "store") spec.at_store = true;
+        else if (where == "wire") spec.at_store = false;
+        else {
+          if (error) *error = "bad fault parameter: " + param;
+          return false;
+        }
+        continue;
+      }
       double value = 0.0;
-      if (eq == std::string::npos ||
-          !parse_number(param.substr(eq + 1), &value)) {
+      if (!parse_number(param.substr(eq + 1), &value)) {
         if (error) *error = "bad fault parameter: " + param;
         return false;
       }

@@ -22,10 +22,13 @@
 // e.g. `read_short:p=0.05,write_err:after=100,delay:ms=50,
 // corrupt_header:p=0.01,worker_stall`. Parameters: `p` (per-opportunity
 // firing probability), `after` (skip the first N opportunities at the
-// site), `ms` (delay magnitude). `worker_stall` — and any clause given
-// `after` without `p` — fires exactly once. Decisions are a pure
-// function of (seed, site, opportunity index), so a plan replays
-// identically for a fixed arrival order regardless of thread count.
+// site), `ms` (delay magnitude), `at` (`wire`, the default, or `store`:
+// retarget the clause at the segment-store read/write sites, e.g.
+// `corrupt_header:at=store:p=0.05` writes records recovery must skip).
+// `worker_stall` — and any clause given `after` without `p` — fires
+// exactly once. Decisions are a pure function of (seed, site,
+// opportunity index), so a plan replays identically for a fixed arrival
+// order regardless of thread count.
 #pragma once
 
 #include <atomic>
@@ -39,11 +42,13 @@ namespace qbss::faults {
 
 /// Where in the service an injection opportunity occurs.
 enum class Site : std::uint32_t {
-  kRead = 0,     ///< server about to read a request frame
-  kWrite = 1,    ///< server about to write a response frame
-  kCompute = 2,  ///< worker about to run a solve
+  kRead = 0,        ///< server about to read a request frame
+  kWrite = 1,       ///< server about to write a response frame
+  kCompute = 2,     ///< worker about to run a solve
+  kStoreRead = 3,   ///< segment store about to read a record
+  kStoreWrite = 4,  ///< segment store about to append a record
 };
-inline constexpr std::size_t kSiteCount = 3;
+inline constexpr std::size_t kSiteCount = 5;
 
 /// What one opportunity must do. Default-constructed = no fault; the
 /// fields compose (a delay and a drop can fire on the same opportunity).
@@ -74,6 +79,10 @@ struct FaultSpec {
   std::uint64_t after = 0;  ///< skip the first `after` opportunities
   double ms = 0.0;          ///< delay magnitude (kDelay / kWorkerStall)
   bool once = false;        ///< fire at most once over the process life
+  /// `at=store`: the clause fires at the segment-store sites instead of
+  /// the wire/compute ones (read_short -> kStoreRead, everything else
+  /// -> kStoreWrite).
+  bool at_store = false;
   [[nodiscard]] Site site() const noexcept;
 };
 

@@ -1,59 +1,203 @@
 #include "svc/cache.hpp"
 
+#include <chrono>
+
+#include "obs/log.hpp"
 #include "obs/registry.hpp"
 #include "svc/protocol.hpp"
 
 namespace qbss::svc {
 
+namespace {
+using A = obs::LogArg;
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+bool parse_sync_mode(const std::string& text, SyncMode* mode) {
+  if (text == "none") *mode = SyncMode::kNone;
+  else if (text == "interval") *mode = SyncMode::kInterval;
+  else if (text == "always") *mode = SyncMode::kAlways;
+  else return false;
+  return true;
+}
+
 ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
   if (shards < 1) shards = 1;
   if (capacity < shards) capacity = shards;  // >= 1 entry per shard
-  shard_capacity_ = capacity / shards;
+  // Spread the budget without dropping the remainder: every shard gets
+  // capacity/shards entries and the first capacity%shards shards one
+  // more, so the shard capacities sum to exactly `capacity`.
+  const std::size_t base = capacity / shards;
+  const std::size_t extra = capacity % shards;
+  total_capacity_ = capacity;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (i < extra ? 1 : 0);
   }
+}
+
+ResultCache::~ResultCache() {
+  if (persister_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(wb_mu_);
+      wb_stop_ = true;
+    }
+    wb_cv_.notify_all();
+    persister_.join();
+  }
+  if (store_) store_->close();
+}
+
+bool ResultCache::attach_store(const DiskTierConfig& config,
+                               store::RecoveryStats* stats,
+                               std::string* error) {
+  if (store_) {
+    if (error) *error = "disk tier already attached";
+    return false;
+  }
+  auto store = std::make_unique<store::SegmentStore>();
+  if (!store->open(config.store, stats, error)) return false;
+  store_ = std::move(store);
+  sync_mode_ = config.sync;
+  sync_interval_ms_ = config.sync_interval_ms > 0.0 ? config.sync_interval_ms
+                                                    : 100.0;
+  persister_ = std::thread([this] { persister_loop(); });
+  return true;
 }
 
 ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
   return *shards_[fnv1a(key) % shards_.size()];
 }
 
-PayloadPtr ResultCache::get(const std::string& key) {
-  Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    QBSS_COUNT("svc.cache.miss");
-    return nullptr;
-  }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  QBSS_COUNT("svc.cache.hit");
-  // A refcount bump, not a copy: the caller may keep serving these bytes
-  // after the entry is evicted or refreshed.
-  return it->second->second;
-}
-
-PayloadPtr ResultCache::put(const std::string& key, std::string payload) {
-  PayloadPtr pinned = std::make_shared<const std::string>(std::move(payload));
+void ResultCache::insert_memory(const std::string& key,
+                                const PayloadPtr& payload) {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mu);
   if (const auto it = shard.index.find(key); it != shard.index.end()) {
     // Readers pinned to the old bytes keep them alive; new hits see the
     // refreshed payload.
-    it->second->second = pinned;
+    it->second->second = payload;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return pinned;
+    return;
   }
-  shard.lru.emplace_front(key, pinned);
+  shard.lru.emplace_front(key, payload);
   shard.index.emplace(key, shard.lru.begin());
-  if (shard.lru.size() > shard_capacity_) {
+  if (shard.lru.size() > shard.capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.evicted;
     QBSS_COUNT("svc.cache.evicted");
+    // With a disk tier every eviction is a demotion: the entry was
+    // enqueued for (or already survived) write-behind persistence, so
+    // it remains servable as a disk hit instead of being lost.
+    if (store_) QBSS_COUNT("svc.cache.evict_to_disk");
+  }
+}
+
+PayloadPtr ResultCache::get(const std::string& key, bool* disk_hit) {
+  if (disk_hit) *disk_hit = false;
+  {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      QBSS_COUNT("svc.cache.hit");
+      // A refcount bump, not a copy: the caller may keep serving these
+      // bytes after the entry is evicted or refreshed.
+      return it->second->second;
+    }
+  }
+  if (store_) {
+    if (store::StorePayloadPtr payload = store_->find(key)) {
+      QBSS_COUNT("svc.cache.disk_hit");
+      QBSS_COUNT("svc.cache.promote");
+      if (disk_hit) *disk_hit = true;
+      // Promote: the working set migrates back into memory one hit at a
+      // time after a restart, so the second identical request is served
+      // at memory speed again.
+      insert_memory(key, payload);
+      return payload;
+    }
+  }
+  QBSS_COUNT("svc.cache.miss");
+  return nullptr;
+}
+
+PayloadPtr ResultCache::put(const std::string& key, std::string payload) {
+  PayloadPtr pinned = std::make_shared<const std::string>(std::move(payload));
+  insert_memory(key, pinned);
+  if (store_) {
+    // Write-behind: persistence happens on the persister thread, never
+    // on the request path. The pin keeps the bytes alive until applied.
+    {
+      const std::lock_guard<std::mutex> lock(wb_mu_);
+      wb_queue_.emplace_back(key, pinned);
+    }
+    wb_cv_.notify_one();
   }
   return pinned;
+}
+
+void ResultCache::persister_loop() {
+  auto last_sync = Clock::now();
+  bool dirty = false;
+  for (;;) {
+    std::deque<std::pair<std::string, PayloadPtr>> batch;
+    {
+      std::unique_lock<std::mutex> lock(wb_mu_);
+      const auto wake = [this] { return wb_stop_ || !wb_queue_.empty(); };
+      if (sync_mode_ == SyncMode::kInterval && dirty) {
+        // Bound how long an applied-but-unsynced record can sit.
+        wb_cv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(sync_interval_ms_),
+            wake);
+      } else {
+        wb_cv_.wait(lock, wake);
+      }
+      if (wb_queue_.empty() && wb_stop_) break;
+      batch.swap(wb_queue_);
+      wb_inflight_ = !batch.empty();
+    }
+    for (const auto& [key, payload] : batch) {
+      std::string error;
+      if (!store_->append(key, *payload, &error)) {
+        QBSS_COUNT("store.persist_err");
+        QBSS_LOG_WARN("cache.persist_err", 0, A("error", error));
+      } else {
+        dirty = true;
+      }
+    }
+    const auto now = Clock::now();
+    const bool interval_due =
+        sync_mode_ == SyncMode::kInterval && dirty &&
+        std::chrono::duration<double, std::milli>(now - last_sync).count() >=
+            sync_interval_ms_;
+    if ((sync_mode_ == SyncMode::kAlways && dirty) || interval_due) {
+      store_->sync();
+      last_sync = now;
+      dirty = false;
+    }
+    if (!batch.empty()) {
+      const std::lock_guard<std::mutex> lock(wb_mu_);
+      wb_inflight_ = false;
+      wb_done_cv_.notify_all();
+    }
+  }
+  if (dirty) store_->sync();
+}
+
+void ResultCache::flush() {
+  if (!store_) return;
+  {
+    std::unique_lock<std::mutex> lock(wb_mu_);
+    wb_cv_.notify_all();
+    wb_done_cv_.wait(lock,
+                     [this] { return wb_queue_.empty() && !wb_inflight_; });
+  }
+  store_->sync();
 }
 
 std::size_t ResultCache::size() const {

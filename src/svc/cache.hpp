@@ -1,11 +1,25 @@
-// qbss::svc result cache — a sharded LRU of serialized response
-// payloads keyed by the canonical request key (protocol.hpp).
+// qbss::svc result cache — a two-tier cache of serialized response
+// payloads keyed by the canonical request key (protocol.hpp): a sharded
+// in-memory LRU in front of an optional crash-safe on-disk segment
+// store (svc/store/segment_store.hpp, docs/DURABILITY.md).
 //
-// Shards are independent {mutex, LRU list, index} triples selected by
-// FNV-1a of the key, so concurrent readers on different shards never
-// contend. Capacity is split evenly across shards (at least one entry
-// each); eviction is per shard, strictly least-recently-used. Hits and
-// misses feed the `svc.cache.{hit,miss,evicted}` counters.
+// Memory tier: shards are independent {mutex, LRU list, index} triples
+// selected by FNV-1a of the key, so concurrent readers on different
+// shards never contend. The entry budget is spread across shards with
+// the remainder distributed one entry at a time to the first
+// `capacity % shards` shards — no capacity is silently dropped when the
+// budget does not divide evenly (docs/SERVICE.md documents the rule).
+// Eviction is per shard, strictly least-recently-used. Hits and misses
+// feed the `svc.cache.{hit,miss,evicted}` counters.
+//
+// Disk tier (attach_store): every put is also enqueued to a write-behind
+// persister thread that appends it to the segment store off the request
+// path, so a restart recovers the working set instead of re-solving it.
+// A memory miss consults the store; a disk hit (`svc.cache.disk_hit`)
+// is promoted back into the LRU (`svc.cache.promote`), and an LRU
+// eviction with the store attached is a demotion, not a loss
+// (`svc.cache.evict_to_disk`). Sync cadence is configurable (none /
+// interval / always); flush() drains the persister for clean shutdowns.
 //
 // Payloads are refcounted (shared_ptr<const string>): a hit hands back a
 // pin on the shard's own bytes instead of a copy, so the wire path can
@@ -14,14 +28,19 @@
 // the list node for as long as any response still holds the pin.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "svc/store/segment_store.hpp"
 
 namespace qbss::svc {
 
@@ -29,27 +48,77 @@ namespace qbss::svc {
 /// independently of the cache's own lifetime management.
 using PayloadPtr = std::shared_ptr<const std::string>;
 
-/// Thread-safe sharded LRU: key -> pinned serialized response payload.
+/// When the write-behind persister fsyncs the segment store.
+enum class SyncMode {
+  kNone,      ///< never (segment seals and close still sync)
+  kInterval,  ///< at most once per sync interval, when dirty
+  kAlways,    ///< after every drained write-behind batch
+};
+
+/// Parses "none"/"interval"/"always"; false on anything else.
+[[nodiscard]] bool parse_sync_mode(const std::string& text, SyncMode* mode);
+
+/// Disk-tier knobs handed to ResultCache::attach_store.
+struct DiskTierConfig {
+  store::StoreConfig store;
+  SyncMode sync = SyncMode::kInterval;
+  double sync_interval_ms = 100.0;  ///< kInterval cadence
+};
+
+/// Thread-safe two-tier cache: key -> pinned serialized response payload.
 class ResultCache {
  public:
   /// `capacity` total entries spread over `shards` shards (both clamped
-  /// to >= 1).
+  /// to >= 1; capacity clamped to >= shards so every shard holds at
+  /// least one entry).
   ResultCache(std::size_t capacity, std::size_t shards);
+  ~ResultCache();
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Opens (and crash-recovers) the on-disk tier and starts the
+  /// write-behind persister. Call before serving traffic. False +
+  /// *error on an unusable directory; `stats`, when non-null, receives
+  /// what recovery found.
+  [[nodiscard]] bool attach_store(const DiskTierConfig& config,
+                                  store::RecoveryStats* stats,
+                                  std::string* error);
 
   /// Returns a pin on the cached payload (refreshing recency), or null
-  /// on a miss. No bytes are copied — only the refcount moves.
-  [[nodiscard]] PayloadPtr get(const std::string& key);
+  /// on a miss in both tiers. A memory hit copies no bytes — only the
+  /// refcount moves. A disk hit reads and verifies the record, promotes
+  /// it into the LRU, and sets *disk_hit (when non-null) so the caller
+  /// can mark the response.
+  [[nodiscard]] PayloadPtr get(const std::string& key,
+                               bool* disk_hit = nullptr);
 
   /// Inserts (or refreshes) `key`, evicting the shard's LRU tail when
-  /// full. Returns the pinned entry just stored, so the caller can
-  /// respond from the exact bytes it published.
+  /// full, and enqueues the entry for write-behind persistence when the
+  /// disk tier is attached. Returns the pinned entry just stored, so
+  /// the caller can respond from the exact bytes it published.
   PayloadPtr put(const std::string& key, std::string payload);
 
-  /// Entries currently resident, summed over shards.
+  /// Blocks until every queued write-behind append has been applied and
+  /// synced (clean shutdowns and tests; no-op without a store).
+  void flush();
+
+  /// Entries currently resident in memory, summed over shards.
   [[nodiscard]] std::size_t size() const;
 
-  /// Entries evicted since construction, summed over shards.
+  /// Total memory-tier entry budget (exactly the constructor's
+  /// `capacity` after clamping — remainders are not dropped).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return total_capacity_;
+  }
+
+  /// Entries evicted from memory since construction, summed over shards.
   [[nodiscard]] std::size_t evictions() const;
+
+  /// The attached disk tier, or null. (Stats surfaces read this; the
+  /// request path goes through get/put.)
+  [[nodiscard]] const store::SegmentStore* disk() const noexcept {
+    return store_ ? store_.get() : nullptr;
+  }
 
  private:
   struct Shard {
@@ -61,13 +130,31 @@ class ResultCache {
         std::string,
         std::list<std::pair<std::string, PayloadPtr>>::iterator>
         index;
+    std::size_t capacity = 1;  ///< this shard's share of the budget
     std::size_t evicted = 0;
   };
 
   Shard& shard_for(const std::string& key);
+  /// Inserts/refreshes under the shard lock; counts evictions (and
+  /// demotions when the store is attached).
+  void insert_memory(const std::string& key, const PayloadPtr& payload);
+  void persister_loop();
 
-  std::size_t shard_capacity_;
+  std::size_t total_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Disk tier + write-behind machinery (all idle unless attach_store
+  // succeeded).
+  std::unique_ptr<store::SegmentStore> store_;
+  SyncMode sync_mode_ = SyncMode::kInterval;
+  double sync_interval_ms_ = 100.0;
+  std::thread persister_;
+  std::mutex wb_mu_;
+  std::condition_variable wb_cv_;       ///< wakes the persister
+  std::condition_variable wb_done_cv_;  ///< wakes flush()
+  std::deque<std::pair<std::string, PayloadPtr>> wb_queue_;
+  bool wb_inflight_ = false;  ///< a batch is being applied right now
+  bool wb_stop_ = false;
 };
 
 }  // namespace qbss::svc

@@ -167,6 +167,7 @@ bool Client::call(const Request& request, Reply* reply, std::string* error) {
   }
   reply->status = response.status;
   reply->cache_hit = (response.flags & kFlagCacheHit) != 0;
+  reply->disk_hit = (response.flags & kFlagDiskHit) != 0;
   reply->trace_id = response.trace_id;
   reply->payload = std::move(payload);
   return true;

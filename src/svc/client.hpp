@@ -42,6 +42,7 @@ class Client {
   struct Reply {
     Status status = Status::kError;
     bool cache_hit = false;
+    bool disk_hit = false;  ///< hit was served from the on-disk tier
     std::uint64_t trace_id = 0;  ///< echoed from the response header
     std::string payload;
   };

@@ -96,7 +96,8 @@ bool send_iov(int fd, iovec* iov, std::size_t count, std::string* error,
 }
 
 /// Reads exactly `len` bytes. 1 = done, 0 = clean EOF before any byte,
-/// -1 = error (torn read or recv failure), -2 = SO_RCVTIMEO expired.
+/// -1 = recv failure, -2 = SO_RCVTIMEO expired, -3 = EOF mid-buffer
+/// (the peer closed after delivering some but not all bytes).
 int recv_all(int fd, void* data, std::size_t len, std::string* error) {
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
@@ -114,7 +115,7 @@ int recv_all(int fd, void* data, std::size_t len, std::string* error) {
     if (n == 0) {
       if (got == 0) return 0;
       if (error) *error = "connection closed mid-frame";
-      return -1;
+      return -3;
     }
     got += static_cast<std::size_t>(n);
   }
@@ -250,7 +251,19 @@ ReadResult read_frame(int fd, FrameHeader* header, std::string* payload,
   if (header->payload_len > 0) {
     const int prc = recv_all(fd, payload->data(), payload->size(), error);
     if (prc == -2) return ReadResult::kTimeout;
-    if (prc != 1) return ReadResult::kError;
+    if (prc != 1) {
+      // Any EOF here is a torn read: the header promised payload_len
+      // bytes, whether the peer closed exactly on the header/payload
+      // boundary (prc == 0, a "clean" EOF from recv_all's point of
+      // view) or partway through the body (prc == -3). Give both the
+      // same typed error so callers (the retrying client in
+      // particular) classify a torn response as a retryable transport
+      // failure rather than a reply.
+      if (error && (prc == 0 || prc == -3)) {
+        *error = "connection closed mid-payload";
+      }
+      return ReadResult::kError;
+    }
   }
   return ReadResult::kFrame;
 }

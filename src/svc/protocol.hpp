@@ -5,7 +5,8 @@
 //
 //     u32 magic        "QSS2" (0x32535351)
 //     u32 status       request: 0; response: 0 ok / 1 shed / 2 error
-//     u32 flags        response bit 0: served from the result cache
+//     u32 flags        response bit 0: served from the result cache;
+//                      bit 1: the hit came from the on-disk tier
 //     u32 payload_len  <= 64 MiB
 //     u64 request_id   echoed verbatim in the response
 //     u64 trace_id     client-stamped; echoed verbatim in the response
@@ -36,6 +37,10 @@ inline constexpr std::uint32_t kMagic = 0x32535351;  // "QSS2" on the wire
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;
 inline constexpr std::size_t kHeaderSize = 32;
 inline constexpr std::uint32_t kFlagCacheHit = 1u;
+/// The hit was served from the on-disk segment store (set together with
+/// kFlagCacheHit; the payload bytes are identical either way — tiering
+/// is visible only in the header flags).
+inline constexpr std::uint32_t kFlagDiskHit = 2u;
 
 /// Response disposition. Requests always carry kOk.
 enum class Status : std::uint32_t {

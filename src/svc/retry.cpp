@@ -83,8 +83,10 @@ bool RetryingClient::call(const Request& request, Client::Reply* reply,
     }
     if (pinned_trace_id_ != 0) client_.set_next_trace_id(pinned_trace_id_);
     if (client_.call(request, reply, &last_error)) return true;
-    // Transport failure: the stream may hold half a frame, so the only
-    // safe continuation is a fresh connection.
+    // Transport failure — including a peer that died mid-payload after
+    // a good header ("connection closed mid-payload"): the stream may
+    // hold half a frame, so the only safe continuation is a fresh
+    // connection. Solves are idempotent by key, so re-sending is safe.
     client_.close();
   }
   QBSS_COUNT("svc.retry.exhausted");

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -109,6 +110,32 @@ bool Server::start(std::string* error) {
     return false;
   }
 
+  if (!config_.cache_dir.empty()) {
+    // Open (and crash-recover) the disk tier before binding anything:
+    // an unusable cache directory fails the whole start instead of
+    // serving traffic that silently is not persisted.
+    DiskTierConfig disk;
+    disk.store.dir = config_.cache_dir;
+    disk.store.budget_bytes = static_cast<std::size_t>(
+        std::max(1.0, config_.cache_disk_mb) * 1024.0 * 1024.0);
+    if (!parse_sync_mode(config_.cache_sync, &disk.sync)) {
+      if (error) {
+        *error = "bad --sync \"" + config_.cache_sync +
+                 "\" (want none, interval or always)";
+      }
+      return false;
+    }
+    disk.sync_interval_ms = config_.cache_sync_interval_ms;
+    store::RecoveryStats recovery;
+    if (!cache_.attach_store(disk, &recovery, error)) return false;
+    if (recovery.anomalous()) {
+      // Corruption or a rebuilt manifest on startup is exactly what the
+      // flight recorder exists for: arm the shutdown dump so the black
+      // box of this run is preserved alongside the recovery log event.
+      note_flight_trigger();
+    }
+  }
+
   if (!config_.socket_path.empty()) {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -197,6 +224,9 @@ void Server::log_server_start() {
       A("stats_interval_ms", config_.stats_interval_ms),
       A("stats_ring", config_.stats_ring),
       A("trace_sample", config_.trace_sample),
+      A("cache_dir", config_.cache_dir.empty()
+                         ? std::string_view("none")
+                         : std::string_view(config_.cache_dir)),
       A("fault_plan", plan.empty() ? std::string_view("none")
                                    : std::string_view(plan.text)));
 }
@@ -253,6 +283,9 @@ void Server::wait() {
     const std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.clear();
   }
+  // Workers are gone, so no new puts: drain the write-behind queue and
+  // sync, making a clean shutdown lose nothing regardless of sync mode.
+  cache_.flush();
   QBSS_LOG_INFO("server.exit", 0, A("responses", responses()));
   if (!config_.manifest_path.empty()) {
     write_manifest();
@@ -475,7 +508,8 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
   // instead of competing for the queue that just overflowed.
   const bool degraded =
       now_ns() < degraded_until_ns_.load(std::memory_order_relaxed);
-  const PayloadPtr hit = cache_.get(key);
+  bool disk = false;
+  const PayloadPtr hit = cache_.get(key, &disk);
   if (trace.sampled) {
     trace.cache_ns = obs::now_ns();
     self.trace = trace;
@@ -484,12 +518,17 @@ void Server::handle_request(const std::shared_ptr<Connection>& conn,
     // Zero-copy hit: `hit` pins the shard's own bytes (a refcount bump,
     // no payload copy or allocation) and the scatter/gather write sends
     // them straight to the socket. The pin keeps the bytes alive even if
-    // the entry is evicted or refreshed while the response drains.
-    QBSS_COUNT("svc.hit.zero_copy");
+    // the entry is evicted or refreshed while the response drains. A
+    // disk hit took one verified store read on the way up (promotion),
+    // so it does not count as zero-copy; the payload bytes are
+    // byte-identical either way and only the header flags differ.
+    if (!disk) QBSS_COUNT("svc.hit.zero_copy");
     if (degraded) QBSS_COUNT("svc.degraded.served");
     QBSS_LOG_DEBUG("req.hit", trace.id, A("conn", conn->id),
-                   A("req", frame.request_id), A("degraded", degraded));
-    respond(self, Status::kOk, kFlagCacheHit, *hit);
+                   A("req", frame.request_id), A("degraded", degraded),
+                   A("disk", disk));
+    respond(self, Status::kOk,
+            kFlagCacheHit | (disk ? kFlagDiskHit : 0u), *hit);
     return;
   }
   if (degraded) {
@@ -632,6 +671,12 @@ std::string Server::build_stats_payload(const std::string& format) {
   frame.extra.emplace_back("cache_size", std::to_string(cache_.size()));
   frame.extra.emplace_back("cache_evictions",
                            std::to_string(cache_.evictions()));
+  if (const store::SegmentStore* disk = cache_.disk()) {
+    const store::StoreStats ds = disk->stats();
+    frame.extra.emplace_back("disk_segments", std::to_string(ds.segments));
+    frame.extra.emplace_back("disk_records", std::to_string(ds.live_records));
+    frame.extra.emplace_back("disk_bytes", std::to_string(ds.bytes));
+  }
   frame.extra.emplace_back(
       "degraded",
       now_ns() < degraded_until_ns_.load(std::memory_order_relaxed) ? "1"
@@ -863,6 +908,14 @@ void Server::write_manifest() {
   manifest.extra.emplace_back("cache_size", std::to_string(cache_.size()));
   manifest.extra.emplace_back("cache_evictions",
                               std::to_string(cache_.evictions()));
+  if (const store::SegmentStore* disk = cache_.disk()) {
+    const store::StoreStats ds = disk->stats();
+    manifest.extra.emplace_back("cache_dir", config_.cache_dir);
+    manifest.extra.emplace_back("disk_segments", std::to_string(ds.segments));
+    manifest.extra.emplace_back("disk_records",
+                                std::to_string(ds.live_records));
+    manifest.extra.emplace_back("disk_bytes", std::to_string(ds.bytes));
+  }
   for (const auto& [key, value] : config_.manifest_extra) {
     manifest.extra.emplace_back(key, value);
   }

@@ -46,6 +46,15 @@ struct ServerConfig {
   std::size_t queue_depth = 64;   ///< admission queue bound (>= 1)
   std::size_t cache_entries = 1024;
   std::size_t cache_shards = 8;
+  /// Disk tier (docs/DURABILITY.md): directory for the segment store.
+  /// "" = memory-only cache, no persistence.
+  std::string cache_dir;
+  /// Disk-tier byte budget in MiB; the oldest sealed segment is dropped
+  /// whole when total size exceeds it.
+  double cache_disk_mb = 256.0;
+  /// Write-behind fsync cadence: "none", "interval" or "always".
+  std::string cache_sync = "interval";
+  double cache_sync_interval_ms = 100.0;  ///< "interval" mode cadence
   std::size_t batch = 4;     ///< max tasks drained per worker wakeup
   double delay_ms = 0.0;     ///< artificial per-solve delay (soak knob)
   /// Per-connection recv timeout (slowloris defense): a peer that stalls

@@ -1,0 +1,56 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+// guarding every segment-store record (docs/DURABILITY.md).
+//
+// Table-driven software implementation, byte at a time over a constexpr
+// 256-entry table: no dependency, no CPU-feature dispatch, and fast
+// enough that checksumming is invisible next to the disk io it guards
+// (records are checksummed once on append and once per read).
+//
+// The extend form composes: crc32c_extend(crc32c_extend(0, a), b) equals
+// crc32c over the concatenation a+b, which is how records checksum
+// key+payload without building a joined buffer.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qbss::svc::store {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+/// Extends a finalized CRC32C over `bytes` (chainable; see file header).
+[[nodiscard]] inline std::uint32_t crc32c_extend(std::uint32_t crc,
+                                                 std::string_view bytes) {
+  crc = ~crc;
+  for (const char c : bytes) {
+    crc = detail::kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// CRC32C of `bytes`.
+[[nodiscard]] inline std::uint32_t crc32c(std::string_view bytes) {
+  return crc32c_extend(0, bytes);
+}
+
+}  // namespace qbss::svc::store

@@ -294,6 +294,31 @@ TEST(Cache, ShardedCapacityHoldsManyKeys) {
   EXPECT_GE(present, 48u);
 }
 
+TEST(Cache, CapacityNotDivisibleByShardsKeepsFullBudget) {
+  // Remainder entries are spread one-per-shard, never dropped
+  // (docs/SERVICE.md documents the rounding rule).
+  EXPECT_EQ(ResultCache(/*capacity=*/10, /*shards=*/4).capacity(), 10u);
+  EXPECT_EQ(ResultCache(/*capacity=*/7, /*shards=*/3).capacity(), 7u);
+  EXPECT_EQ(ResultCache(/*capacity=*/64, /*shards=*/8).capacity(), 64u);
+  // Capacity below the shard count clamps up: every shard holds >= 1.
+  EXPECT_EQ(ResultCache(/*capacity=*/3, /*shards=*/8).capacity(), 8u);
+}
+
+TEST(Cache, UnevenCapacityIsUsableNotJustReported) {
+  // 7 entries over 3 shards used to silently truncate to 2 per shard
+  // (6 total). Fill well past capacity and verify at least 7 of the
+  // most recent keys survive in aggregate.
+  ResultCache cache(/*capacity=*/7, /*shards=*/3);
+  for (int i = 0; i < 64; ++i) {
+    cache.put("key" + std::to_string(i), std::to_string(i));
+  }
+  std::size_t present = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (cache.get("key" + std::to_string(i))) ++present;
+  }
+  EXPECT_EQ(present, 7u) << "all shards full => exactly capacity() live";
+}
+
 /// Spins up a server on a fresh /tmp socket, runs `body(path)`, then
 /// shuts down and returns the manifest path (which `body` may ignore).
 template <typename Body>
@@ -885,6 +910,103 @@ TEST(Server, RetryingClientSurvivesServerRestartByteIdentically) {
     server.shutdown();
     server.wait();
   }
+  std::remove(path.c_str());
+}
+
+TEST(Protocol, MidPayloadDisconnectIsAnErrorNotEof) {
+  // A clean close on the header boundary is kEof (peer is just done);
+  // a close after a good header but before the payload completes is a
+  // torn frame and must surface as kError so callers retry it.
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  FrameHeader header;
+  header.payload_len = 10;
+  unsigned char wire[kHeaderSize];
+  encode_header(header, wire);
+  ASSERT_TRUE(send_raw(pair[0], wire, kHeaderSize));
+  const unsigned char partial[4] = {'t', 'o', 'r', 'n'};
+  ASSERT_TRUE(send_raw(pair[0], partial, sizeof partial));
+  ::close(pair[0]);
+
+  FrameHeader reply;
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(read_frame(pair[1], &reply, &payload, &error),
+            ReadResult::kError);
+  EXPECT_NE(error.find("mid-payload"), std::string::npos) << error;
+  ::close(pair[1]);
+}
+
+TEST(Server, RetryingClientRetriesMidPayloadDisconnect) {
+  // A hand-rolled one-shot flaky server: the first connection answers
+  // with a good header and then tears the connection mid-payload; the
+  // second answers in full. The retrying client must treat the torn
+  // read as a transport failure (not a reply) and transparently retry.
+  const std::string path = socket_path("tornpayload");
+  std::remove(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 2), 0);
+
+  const std::string full_payload(64, 'p');
+  std::thread flaky([listener, &full_payload] {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      ASSERT_GE(fd, 0);
+      FrameHeader request;
+      std::string request_payload;
+      std::string error;
+      ASSERT_EQ(read_frame(fd, &request, &request_payload, &error),
+                ReadResult::kFrame)
+          << error;
+      FrameHeader response;
+      response.status = Status::kOk;
+      response.request_id = request.request_id;
+      response.payload_len =
+          static_cast<std::uint32_t>(full_payload.size());
+      if (attempt == 0) {
+        // Good header, four payload bytes, then a clean close: exactly
+        // the tear a server crash mid-write produces.
+        unsigned char wire[kHeaderSize];
+        encode_header(response, wire);
+        ASSERT_TRUE(send_raw(fd, wire, kHeaderSize));
+        ASSERT_TRUE(send_raw(
+            fd,
+            reinterpret_cast<const unsigned char*>(full_payload.data()),
+            4));
+      } else {
+        ASSERT_TRUE(write_frame(fd, response, full_payload, &error)) << error;
+      }
+      ::close(fd);
+    }
+  });
+
+  Endpoint endpoint;
+  endpoint.socket_path = path;
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.base_ms = 1.0;
+  policy.attempt_timeout_ms = 2000.0;
+  RetryingClient client(endpoint, policy);
+  Request request;
+  request.algo = "bkpq";
+  request.instance = small_instance(77);
+  Client::Reply reply;
+  std::string error;
+  ASSERT_TRUE(client.call(request, &reply, &error)) << error;
+  EXPECT_EQ(reply.status, Status::kOk);
+  EXPECT_EQ(reply.payload, full_payload);
+  EXPECT_EQ(client.retries(), 1u);
+  EXPECT_EQ(client.reconnects(), 1u);
+
+  flaky.join();
+  ::close(listener);
   std::remove(path.c_str());
 }
 

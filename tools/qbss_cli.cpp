@@ -11,6 +11,9 @@
 //   qbss bounds [--alpha A]                       print Table 1 bounds
 //   qbss serve --socket PATH [--tcp PORT] ...     resident scheduling
 //                                                 service (docs/SERVICE.md)
+//   qbss cache stats|verify|compact --dir DIR     inspect/check/compact a
+//                                                 serve --cache-dir segment
+//                                                 store (docs/DURABILITY.md)
 //   qbss route --topology FILE --socket PATH ...  consistent-hash router
 //                                                 fronting a backend fleet
 //                                                 (docs/ROUTING.md)
@@ -78,6 +81,7 @@
 #include "route/topology.hpp"
 #include "svc/client.hpp"
 #include "svc/server.hpp"
+#include "svc/store/segment_store.hpp"
 
 #include "options.hpp"
 
@@ -90,8 +94,8 @@ using tools::parse_options;
 int usage() {
   std::fprintf(stderr,
                "usage: qbss "
-               "<gen|run|opt|stats|bounds|serve|route|scrape|top|obs-diff|"
-               "logs> [--options]\n"
+               "<gen|run|opt|stats|bounds|serve|cache|route|scrape|top|"
+               "obs-diff|logs> [--options]\n"
                "  gen    --family mixed|compression|optimizer|common|pow2 "
                "[--n N] [--seed S]\n"
                "  run    --algo crcd|crp2d|crad|avrq|bkpq|oaq|avrq_m "
@@ -113,6 +117,23 @@ int usage() {
                "[--flight FILE]\n"
                "         [--stats-interval-ms X] [--stats-ring N] "
                "[--trace-sample N]\n"
+               "         [--cache-dir DIR] [--cache-disk-mb N] "
+               "[--sync none|interval|always]\n"
+               "         [--sync-interval-ms X]\n"
+               "           --cache-dir  persist the result cache to a "
+               "checksummed\n"
+               "                       segment store in DIR and warm-restart "
+               "from it\n"
+               "                       (docs/DURABILITY.md; default: "
+               "memory only)\n"
+               "           --cache-disk-mb  disk-tier byte budget in MiB "
+               "(default 256);\n"
+               "                       the oldest segment is dropped whole "
+               "past it\n"
+               "           --sync      write-behind fsync cadence "
+               "(default interval)\n"
+               "           --sync-interval-ms  cadence for --sync interval "
+               "(default 100)\n"
                "           --stats-interval-ms  snapshot-ring cadence "
                "backing the stats\n"
                "                       verb's recent-rates window "
@@ -141,6 +162,21 @@ int usage() {
                "qbss-loadgen); writes\n"
                "         BENCH_svc.json at shutdown (--manifest "
                "overrides the path)\n"
+               "  cache  stats|verify|compact --dir DIR [--segment-mb N]\n"
+               "         offline tooling for a serve --cache-dir segment "
+               "store (run\n"
+               "         it against a stopped server; opening recovers the "
+               "store\n"
+               "         exactly like serve does — docs/DURABILITY.md)\n"
+               "           stats    recovery summary, totals and a "
+               "per-segment table\n"
+               "           verify   re-read and checksum every live "
+               "record; exit 1 if\n"
+               "                    any fails\n"
+               "           compact  rewrite live records into fresh "
+               "segments and drop\n"
+               "                    superseded/corrupt garbage (atomic "
+               "manifest swap)\n"
                "  route  --topology FILE --socket PATH [--tcp PORT]\n"
                "         [--replicas R] [--hot-threshold N] "
                "[--health-interval-ms X]\n"
@@ -413,6 +449,10 @@ int cmd_serve(const Options& opts) {
   cfg.queue_depth = static_cast<std::size_t>(opts.number("queue-depth", 64));
   cfg.cache_entries = static_cast<std::size_t>(opts.number("cache", 1024));
   cfg.cache_shards = static_cast<std::size_t>(opts.number("shards", 8));
+  cfg.cache_dir = opts.get("cache-dir", "");
+  cfg.cache_disk_mb = opts.number("cache-disk-mb", 256.0);
+  cfg.cache_sync = opts.get("sync", "interval");
+  cfg.cache_sync_interval_ms = opts.number("sync-interval-ms", 100.0);
   cfg.batch = static_cast<std::size_t>(opts.number("batch", 4));
   cfg.delay_ms = opts.number("delay-ms", 0.0);
   cfg.read_timeout_ms = opts.number("read-timeout-ms", 30000.0);
@@ -479,6 +519,11 @@ int cmd_serve(const Options& opts) {
   if (cfg.tcp_port != 0) {
     std::fprintf(stderr, "[svc] listening on 127.0.0.1:%d\n", cfg.tcp_port);
   }
+  if (!cfg.cache_dir.empty()) {
+    std::fprintf(stderr, "[svc] disk tier %s (budget %.0f MiB, sync %s)\n",
+                 cfg.cache_dir.c_str(), cfg.cache_disk_mb,
+                 cfg.cache_sync.c_str());
+  }
   std::fprintf(stderr,
                "[svc] workers=%zu queue_depth=%zu cache=%zu ready\n",
                cfg.workers, cfg.queue_depth, cfg.cache_entries);
@@ -486,6 +531,91 @@ int cmd_serve(const Options& opts) {
   std::fprintf(stderr, "[svc] shut down after %llu responses\n",
                static_cast<unsigned long long>(server.responses()));
   return 0;
+}
+
+/// `qbss cache stats|verify|compact --dir DIR` — offline tooling over a
+/// serve --cache-dir segment store. Opening runs the same recovery as
+/// serve (torn-tail truncation, corrupt-record skipping, manifest
+/// rebuild), so run it against a stopped server only. The byte budget is
+/// unbounded here: tooling must never drop a segment the server would
+/// have kept.
+int cmd_cache(const Options& opts) {
+  const std::string action =
+      opts.positional.empty() ? std::string("stats") : opts.positional[0];
+  if (action != "stats" && action != "verify" && action != "compact") {
+    std::fprintf(stderr,
+                 "cache: unknown action \"%s\" (want stats, verify or "
+                 "compact)\n",
+                 action.c_str());
+    return 2;
+  }
+  const std::string dir = opts.get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "cache needs --dir DIR\n");
+    return 2;
+  }
+
+  svc::store::StoreConfig cfg;
+  cfg.dir = dir;
+  cfg.budget_bytes = ~0ull;  // offline: never budget-drop a segment
+  cfg.segment_bytes = static_cast<std::uint64_t>(
+      std::max(1.0, opts.number("segment-mb", 8.0)) * 1024.0 * 1024.0);
+  svc::store::SegmentStore store;
+  svc::store::RecoveryStats recovery;
+  std::string error;
+  if (!store.open(cfg, &recovery, &error)) {
+    std::fprintf(stderr, "cache: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "recovery: %zu segment(s), %zu live record(s), %zu corrupt "
+      "skipped, %llu torn byte(s) truncated%s\n",
+      recovery.segments, recovery.records, recovery.corrupt_skipped,
+      static_cast<unsigned long long>(recovery.torn_tail_bytes),
+      recovery.manifest_rebuilt ? ", manifest rebuilt" : "");
+
+  int rc = 0;
+  if (action == "stats") {
+    const svc::store::StoreStats stats = store.stats();
+    std::printf("dir: %s\n", store.dir().c_str());
+    std::printf("segments: %zu\n", stats.segments);
+    std::printf("live records: %zu\n", stats.live_records);
+    std::printf("bytes: %llu\n",
+                static_cast<unsigned long long>(stats.bytes));
+    std::printf("%-16s %12s %12s %s\n", "segment", "bytes", "records",
+                "state");
+    for (const svc::store::SegmentInfo& seg : store.segments()) {
+      std::printf("%-16s %12llu %12zu %s\n", seg.name.c_str(),
+                  static_cast<unsigned long long>(seg.bytes),
+                  seg.live_records, seg.active ? "active" : "sealed");
+    }
+  } else if (action == "verify") {
+    std::vector<std::string> report;
+    const std::size_t failures = store.verify(&report);
+    for (const std::string& line : report) {
+      std::printf("FAIL %s\n", line.c_str());
+    }
+    const svc::store::StoreStats stats = store.stats();
+    std::printf("verify: %zu live record(s), %zu failure(s)\n",
+                stats.live_records, failures);
+    rc = failures == 0 ? 0 : 1;
+  } else {  // compact
+    const svc::store::StoreStats before = store.stats();
+    if (!store.compact(&error)) {
+      std::fprintf(stderr, "cache: compact failed: %s\n", error.c_str());
+      store.close();
+      return 1;
+    }
+    const svc::store::StoreStats after = store.stats();
+    std::printf(
+        "compact: %llu -> %llu bytes, %zu -> %zu segment(s), %zu live "
+        "record(s)\n",
+        static_cast<unsigned long long>(before.bytes),
+        static_cast<unsigned long long>(after.bytes), before.segments,
+        after.segments, after.live_records);
+  }
+  store.close();
+  return rc;
 }
 
 int cmd_route(const Options& opts) {
@@ -1087,6 +1217,7 @@ int dispatch(const std::string& command, const Options& opts) {
   if (command == "stats") return cmd_stats(opts);
   if (command == "bounds") return cmd_bounds(opts);
   if (command == "serve") return cmd_serve(opts);
+  if (command == "cache") return cmd_cache(opts);
   if (command == "route") return cmd_route(opts);
   if (command == "scrape") return cmd_scrape(opts);
   if (command == "top") return cmd_top(opts);

@@ -40,6 +40,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -115,6 +116,7 @@ struct RunState {
   std::atomic<std::uint64_t> sent{0};
   std::atomic<std::uint64_t> ok{0};
   std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> disk_hits{0};
   std::atomic<std::uint64_t> shed{0};
   std::atomic<std::uint64_t> errors{0};
   std::atomic<std::uint64_t> transport_failures{0};
@@ -221,6 +223,10 @@ void issue_one(RunState& state, svc::RetryingClient& client,
         state.cache_hits.fetch_add(1);
         QBSS_COUNT("loadgen.cache_hits");
       }
+      if (reply.disk_hit) {
+        state.disk_hits.fetch_add(1);
+        QBSS_COUNT("loadgen.disk_hits");
+      }
       check_response(state, index, reply);
       break;
     case svc::Status::kShed:
@@ -305,6 +311,11 @@ int usage() {
       "  --expect-no-shed  exit 1 if any request was shed\n"
       "  --expect-shed     exit 1 if no request was shed\n"
       "  --expect-cache-hits  exit 1 if no response came from the cache\n"
+      "  --expect-disk-hits [N]  exit 1 unless >= N responses came from "
+      "the\n"
+      "                    server's on-disk cache tier (default 1; the "
+      "warm-\n"
+      "                    restart soak gates on this)\n"
       "  --expect-retries  exit 1 if no request needed a retry\n"
       "  --expect-qps Q    exit 1 if achieved throughput < Q req/s\n"
       "  --progress MS     print a one-line throughput/latency/retry\n"
@@ -530,10 +541,11 @@ int main(int argc, char** argv) {
                 "%zu connections, pool of %zu instances\n",
                 static_cast<unsigned long long>(sent), seconds,
                 achieved_qps, connections, state.pool.size());
-    std::printf("  ok %llu (cache hits %llu), shed %llu, errors %llu, "
-                "transport failures %llu\n",
+    std::printf("  ok %llu (cache hits %llu, disk hits %llu), shed %llu, "
+                "errors %llu, transport failures %llu\n",
                 static_cast<unsigned long long>(state.ok.load()),
                 static_cast<unsigned long long>(state.cache_hits.load()),
+                static_cast<unsigned long long>(state.disk_hits.load()),
                 static_cast<unsigned long long>(state.shed.load()),
                 static_cast<unsigned long long>(state.errors.load()),
                 static_cast<unsigned long long>(
@@ -577,6 +589,8 @@ int main(int argc, char** argv) {
                                 std::to_string(retry.retries));
     manifest.extra.emplace_back("achieved_qps",
                                 std::to_string(achieved_qps));
+    manifest.extra.emplace_back("disk_hits",
+                                std::to_string(state.disk_hits.load()));
     manifest.extra.emplace_back("retries", std::to_string(retried));
     manifest.extra.emplace_back("reconnects", std::to_string(reconnects));
     manifest.extra.emplace_back("exhausted", std::to_string(exhausted));
@@ -603,6 +617,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "qbss-loadgen: expected cache hits, got none\n");
     failed = true;
+  }
+  if (opts.flag("expect-disk-hits")) {
+    // The flag's value is optional (`--expect-disk-hits` alone means 1),
+    // so parse it by hand instead of through Options::number, which
+    // rejects an empty value.
+    const std::string text = opts.get("expect-disk-hits", "");
+    std::uint64_t want = 1;
+    if (!text.empty()) {
+      want = std::strtoull(text.c_str(), nullptr, 10);
+      if (want == 0) want = 1;
+    }
+    if (state.disk_hits.load() < want) {
+      std::fprintf(stderr,
+                   "qbss-loadgen: expected >= %llu disk hit(s) (is "
+                   "--cache-dir set and warm?), got %llu\n",
+                   static_cast<unsigned long long>(want),
+                   static_cast<unsigned long long>(state.disk_hits.load()));
+      failed = true;
+    }
   }
   if (opts.flag("expect-retries") && retried == 0) {
     std::fprintf(stderr,
